@@ -1,0 +1,205 @@
+package moara
+
+// One benchmark per table/figure of the paper's evaluation. Each
+// iteration regenerates the artifact at scaled-down parameters so the
+// full suite completes in minutes; cmd/moara-bench runs the same
+// drivers at paper-scale parameters.
+//
+//	go test -bench=. -benchmem
+//
+// The -benchtime=1x flag runs each figure exactly once.
+
+import (
+	"io"
+	"testing"
+
+	"github.com/moara/moara/internal/experiments"
+)
+
+func runBench(b *testing.B, run func() *experiments.Table) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab := run()
+		if len(tab.Rows) == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+		tab.Fprint(io.Discard)
+	}
+}
+
+// BenchmarkFig2a regenerates the slice-size distribution (Fig. 2a).
+func BenchmarkFig2a(b *testing.B) {
+	runBench(b, func() *experiments.Table {
+		return experiments.RunFig2a(experiments.Fig2aOptions{})
+	})
+}
+
+// BenchmarkFig2b regenerates the utility-computing job trace (Fig. 2b).
+func BenchmarkFig2b(b *testing.B) {
+	runBench(b, func() *experiments.Table {
+		return experiments.RunFig2b(experiments.Fig2bOptions{})
+	})
+}
+
+// BenchmarkFig9 regenerates the bandwidth-vs-ratio comparison (Fig. 9):
+// Global vs Always-Update vs adaptive Moara.
+func BenchmarkFig9(b *testing.B) {
+	runBench(b, func() *experiments.Table {
+		return experiments.RunFig9(experiments.Fig9Options{
+			N: 500, Events: 60, Burst: 100, Steps: 3,
+		})
+	})
+}
+
+// BenchmarkFig10 regenerates the adaptation-window sensitivity study
+// (Fig. 10).
+func BenchmarkFig10(b *testing.B) {
+	runBench(b, func() *experiments.Table {
+		return experiments.RunFig10(experiments.Fig10Options{
+			N: 200, Events: 60, Burst: 40, Steps: 3,
+			Pairs: [][2]int{{1, 3}, {3, 1}},
+		})
+	})
+}
+
+// BenchmarkFig11a regenerates the SQP scaling study (Fig. 11a).
+func BenchmarkFig11a(b *testing.B) {
+	runBench(b, func() *experiments.Table {
+		return experiments.RunFig11a(experiments.Fig11aOptions{
+			Sizes:      []int{64, 256, 1024},
+			GroupSizes: []int{8, 32},
+			Thresholds: []int{1, 2},
+			Queries:    100,
+		})
+	})
+}
+
+// BenchmarkFig11b regenerates the SQP cost-tradeoff study (Fig. 11b).
+func BenchmarkFig11b(b *testing.B) {
+	runBench(b, func() *experiments.Table {
+		return experiments.RunFig11b(experiments.Fig11bOptions{
+			N: 1024, GroupSizes: []int{8, 64, 512}, Thresholds: []int{2, 4}, Queries: 100,
+		})
+	})
+}
+
+// BenchmarkFig12a regenerates the static-group latency/bandwidth
+// comparison against the SDIMS global tree (Fig. 12a).
+func BenchmarkFig12a(b *testing.B) {
+	runBench(b, func() *experiments.Table {
+		return experiments.RunFig12a(experiments.Fig12aOptions{
+			N: 300, GroupSizes: []int{32, 128, 300}, Queries: 25,
+		})
+	})
+}
+
+// BenchmarkFig12b regenerates the dynamic-group latency study
+// (Fig. 12b).
+func BenchmarkFig12b(b *testing.B) {
+	runBench(b, func() *experiments.Table {
+		return experiments.RunFig12b(experiments.Fig12bOptions{
+			N: 300, GroupSize: 60, Churns: []int{40, 120}, Queries: 25,
+		})
+	})
+}
+
+// BenchmarkFig13a regenerates the latency timeline under churn
+// (Fig. 13a).
+func BenchmarkFig13a(b *testing.B) {
+	runBench(b, func() *experiments.Table {
+		return experiments.RunFig13a(experiments.Fig13aOptions{
+			N: 300, GroupSize: 100, Churn: 80, Seconds: 40,
+		})
+	})
+}
+
+// BenchmarkFig13b regenerates the composite-query latency study
+// (Fig. 13b).
+func BenchmarkFig13b(b *testing.B) {
+	runBench(b, func() *experiments.Table {
+		return experiments.RunFig13b(experiments.Fig13bOptions{
+			N: 300, GroupSize: 40, MaxGroups: 5, Queries: 25,
+		})
+	})
+}
+
+// BenchmarkFig14 regenerates the wide-area latency CDF (Fig. 14).
+func BenchmarkFig14(b *testing.B) {
+	runBench(b, func() *experiments.Table {
+		return experiments.RunFig14(experiments.Fig14Options{
+			N: 150, GroupSizes: []int{50, 100}, Queries: 40,
+		})
+	})
+}
+
+// BenchmarkFig15 regenerates the Moara-vs-centralized comparison
+// (Fig. 15).
+func BenchmarkFig15(b *testing.B) {
+	runBench(b, func() *experiments.Table {
+		return experiments.RunFig15(experiments.Fig15Options{
+			N: 150, GroupSizes: []int{40}, Queries: 25,
+		})
+	})
+}
+
+// BenchmarkFig16 regenerates the bottleneck-link analysis (Fig. 16).
+func BenchmarkFig16(b *testing.B) {
+	runBench(b, func() *experiments.Table {
+		return experiments.RunFig16(experiments.Fig16Options{
+			N: 150, Queries: 40,
+		})
+	})
+}
+
+// BenchmarkQueryThroughputSmallGroup measures end-to-end query
+// turnaround on a warmed 16-of-512 group tree — the steady-state
+// monitoring workload of §2 (not a paper figure; an engineering
+// baseline for regressions).
+func BenchmarkQueryThroughputSmallGroup(b *testing.B) {
+	c := NewSimCluster(512)
+	for i := 0; i < c.Size(); i++ {
+		c.SetAttr(i, "g", Bool(i < 16))
+	}
+	req, err := ParseRequest("count(*) where g = true")
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the tree.
+	for i := 0; i < 3; i++ {
+		if _, err := c.Execute(0, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := c.Execute(0, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v, _ := res.Agg.Value.AsInt(); v != 16 {
+			b.Fatalf("count = %d", v)
+		}
+	}
+}
+
+// BenchmarkGlobalAggregation measures whole-system aggregation
+// turnaround at 1024 nodes.
+func BenchmarkGlobalAggregation(b *testing.B) {
+	c := NewSimCluster(1024)
+	for i := 0; i < c.Size(); i++ {
+		c.SetAttr(i, "load", Float(float64(i%100)))
+	}
+	req, err := ParseRequest("avg(load)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Execute(0, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

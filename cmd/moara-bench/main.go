@@ -1,0 +1,197 @@
+// Command moara-bench regenerates every table and figure of the paper's
+// evaluation (§7). Each subcommand runs one experiment at paper-scale
+// parameters (or a faster scaled profile) and prints the series the
+// figure plots; -tsv additionally writes machine-readable output.
+//
+// Usage:
+//
+//	moara-bench [-profile paper|quick] [-tsv DIR] fig9 fig10 ...
+//	moara-bench all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/moara/moara/internal/experiments"
+)
+
+type runner func(profile string) *experiments.Table
+
+var figures = []struct {
+	name string
+	desc string
+	run  runner
+}{
+	{"fig2a", "slice-size distribution (synthetic trace)", func(p string) *experiments.Table {
+		return experiments.RunFig2a(experiments.Fig2aOptions{})
+	}},
+	{"fig2b", "utility-computing job trace (synthetic)", func(p string) *experiments.Table {
+		return experiments.RunFig2b(experiments.Fig2bOptions{})
+	}},
+	{"fig9", "bandwidth vs query:churn ratio", func(p string) *experiments.Table {
+		o := experiments.Fig9Options{}
+		if p == "quick" {
+			o = experiments.Fig9Options{N: 1000, Events: 100, Burst: 200}
+		}
+		return experiments.RunFig9(o)
+	}},
+	{"fig10", "(kUPDATE,kNO-UPDATE) sensitivity", func(p string) *experiments.Table {
+		o := experiments.Fig10Options{}
+		if p == "quick" {
+			o = experiments.Fig10Options{N: 200, Events: 100, Burst: 40}
+		}
+		return experiments.RunFig10(o)
+	}},
+	{"fig11a", "SQP query cost vs system size", func(p string) *experiments.Table {
+		o := experiments.Fig11aOptions{}
+		if p == "quick" {
+			o = experiments.Fig11aOptions{
+				Sizes:   []int{16, 64, 256, 1024, 4096},
+				Queries: 200,
+			}
+		}
+		return experiments.RunFig11a(o)
+	}},
+	{"fig11b", "SQP query/update cost vs subset size", func(p string) *experiments.Table {
+		o := experiments.Fig11bOptions{}
+		if p == "quick" {
+			o = experiments.Fig11bOptions{N: 2048, GroupSizes: []int{8, 32, 128, 512, 2048}, Queries: 200}
+		}
+		return experiments.RunFig11b(o)
+	}},
+	{"fig12a", "static groups: Moara vs SDIMS global tree", func(p string) *experiments.Table {
+		o := experiments.Fig12aOptions{}
+		if p == "quick" {
+			o = experiments.Fig12aOptions{N: 500, Queries: 40}
+		}
+		return experiments.RunFig12a(o)
+	}},
+	{"fig12b", "dynamic group latency", func(p string) *experiments.Table {
+		o := experiments.Fig12bOptions{}
+		if p == "quick" {
+			o = experiments.Fig12bOptions{N: 500, Queries: 40}
+		}
+		return experiments.RunFig12b(o)
+	}},
+	{"fig13a", "latency timeline under churn", func(p string) *experiments.Table {
+		o := experiments.Fig13aOptions{}
+		if p == "quick" {
+			o = experiments.Fig13aOptions{Seconds: 60}
+		}
+		return experiments.RunFig13a(o)
+	}},
+	{"fig13b", "composite query latency", func(p string) *experiments.Table {
+		o := experiments.Fig13bOptions{}
+		if p == "quick" {
+			o = experiments.Fig13bOptions{Queries: 60}
+		}
+		return experiments.RunFig13b(o)
+	}},
+	{"fig14", "PlanetLab latency CDF", func(p string) *experiments.Table {
+		o := experiments.Fig14Options{}
+		if p == "quick" {
+			o = experiments.Fig14Options{Queries: 100}
+		}
+		return experiments.RunFig14(o)
+	}},
+	{"fig15", "Moara vs centralized aggregator", func(p string) *experiments.Table {
+		o := experiments.Fig15Options{}
+		if p == "quick" {
+			o = experiments.Fig15Options{Queries: 40}
+		}
+		return experiments.RunFig15(o)
+	}},
+	{"fig16", "bottleneck link analysis", func(p string) *experiments.Table {
+		o := experiments.Fig16Options{}
+		if p == "quick" {
+			o = experiments.Fig16Options{Queries: 60}
+		}
+		return experiments.RunFig16(o)
+	}},
+	{"ablation", "composite cover selection ablation (§6.3)", func(p string) *experiments.Table {
+		o := experiments.AblationOptions{}
+		if p == "quick" {
+			o = experiments.AblationOptions{N: 200, Large: 150, Queries: 40}
+		}
+		return experiments.RunAblationCoverSelection(o)
+	}},
+}
+
+func main() {
+	profile := flag.String("profile", "paper", "parameter profile: paper or quick")
+	tsvDir := flag.String("tsv", "", "directory to write per-figure TSV files")
+	flag.Usage = usage
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	if *profile != "paper" && *profile != "quick" {
+		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+
+	selected := map[string]bool{}
+	for _, a := range args {
+		if a == "all" {
+			for _, f := range figures {
+				selected[f.name] = true
+			}
+			continue
+		}
+		found := false
+		for _, f := range figures {
+			if f.name == a {
+				selected[a] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "unknown figure %q\n", a)
+			usage()
+			os.Exit(2)
+		}
+	}
+
+	for _, f := range figures {
+		if !selected[f.name] {
+			continue
+		}
+		start := time.Now()
+		tab := f.run(*profile)
+		tab.Note += fmt.Sprintf(" [profile=%s, wall=%s]", *profile, time.Since(start).Round(time.Millisecond))
+		tab.Fprint(os.Stdout)
+		if *tsvDir != "" {
+			if err := writeTSV(*tsvDir, f.name, tab); err != nil {
+				fmt.Fprintf(os.Stderr, "write tsv: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func writeTSV(dir, name string, tab *experiments.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".tsv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tab.WriteTSV(f)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: moara-bench [-profile paper|quick] [-tsv DIR] <figure>...|all\n\nfigures:\n")
+	for _, f := range figures {
+		fmt.Fprintf(os.Stderr, "  %-8s %s\n", f.name, f.desc)
+	}
+}

@@ -1,0 +1,144 @@
+// Command moara is the interactive front-end of §7: it boots a
+// simulated Moara deployment, populates demo monitoring attributes,
+// and drops into a query shell.
+//
+// Usage:
+//
+//	moara [-n 256] [-seed 1] [-lan|-wan]
+//
+// Shell commands:
+//
+//	<query>                  e.g. avg(cpu_util) where apache = true
+//	set <node> <attr> <val>  write an attribute on a node's agent
+//	get <node> <attr>        read an attribute
+//	stats                    message-counter snapshot
+//	help, quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/moara/moara"
+	"github.com/moara/moara/internal/value"
+)
+
+func main() {
+	n := flag.Int("n", 256, "cluster size")
+	seed := flag.Int64("seed", 1, "random seed")
+	lan := flag.Bool("lan", false, "use the Emulab-style LAN latency model")
+	wan := flag.Bool("wan", false, "use the PlanetLab-style WAN latency model")
+	flag.Parse()
+
+	opts := []moara.Option{moara.WithSeed(*seed)}
+	switch {
+	case *lan:
+		opts = append(opts, moara.WithLANModel())
+	case *wan:
+		opts = append(opts, moara.WithWANModel())
+	}
+	c := moara.NewSimCluster(*n, opts...)
+	seedDemoAttrs(c)
+
+	fmt.Printf("moara: %d-node simulated cluster ready; try: count(*) where apache = true\n", *n)
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("moara> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "#"):
+		case line == "quit" || line == "exit":
+			return
+		case line == "help":
+			fmt.Println("  <agg>(<attr>) [where <pred>] | set <node> <attr> <val> | get <node> <attr> | trees [node] | stats | quit")
+		case line == "stats":
+			fmt.Printf("  moara messages since start/reset: %d\n", c.Messages())
+		case strings.HasPrefix(line, "trees"):
+			parts := strings.Fields(line)
+			node := 0
+			if len(parts) == 2 {
+				if i, err := strconv.Atoi(parts[1]); err == nil && i >= 0 && i < c.Size() {
+					node = i
+				}
+			}
+			for _, ti := range c.Trees(node) {
+				fmt.Printf("  %-40s level=%-2d sat=%-5v update=%-5v prune=%-5v qset=%d np=%d\n",
+					ti.Group, ti.Level, ti.Sat, ti.Update, ti.Prune, ti.QSetSize, ti.Np)
+			}
+		case strings.HasPrefix(line, "set "):
+			doSet(c, line)
+		case strings.HasPrefix(line, "get "):
+			doGet(c, line)
+		default:
+			runQuery(c, line)
+		}
+		fmt.Print("moara> ")
+	}
+}
+
+func runQuery(c *moara.SimCluster, q string) {
+	res, err := c.Query(0, q)
+	if err != nil {
+		fmt.Printf("  error: %v\n", err)
+		return
+	}
+	fmt.Printf("  %s\n", res.Agg)
+	fmt.Printf("  %d contributors, %.1f ms", res.Contributors,
+		float64(res.Stats.TotalTime.Microseconds())/1000)
+	if len(res.Stats.Chosen) > 0 {
+		fmt.Printf(", cover %v", res.Stats.Chosen)
+	}
+	if res.Stats.ShortCircuit {
+		fmt.Print(", short-circuited (provably empty)")
+	}
+	fmt.Println()
+}
+
+func doSet(c *moara.SimCluster, line string) {
+	parts := strings.Fields(line)
+	if len(parts) != 4 {
+		fmt.Println("  usage: set <node> <attr> <value>")
+		return
+	}
+	i, err := strconv.Atoi(parts[1])
+	if err != nil || i < 0 || i >= c.Size() {
+		fmt.Printf("  bad node index %q (0..%d)\n", parts[1], c.Size()-1)
+		return
+	}
+	v, err := value.Parse(parts[3])
+	if err != nil {
+		fmt.Printf("  bad value: %v\n", err)
+		return
+	}
+	c.SetAttr(i, parts[2], v)
+	fmt.Printf("  node %d: %s = %s\n", i, parts[2], v)
+}
+
+func doGet(c *moara.SimCluster, line string) {
+	parts := strings.Fields(line)
+	if len(parts) != 3 {
+		fmt.Println("  usage: get <node> <attr>")
+		return
+	}
+	i, err := strconv.Atoi(parts[1])
+	if err != nil || i < 0 || i >= c.Size() {
+		fmt.Printf("  bad node index %q\n", parts[1])
+		return
+	}
+	fmt.Printf("  node %d: %s = %s\n", i, parts[2], c.Attr(i, parts[2]))
+}
+
+// seedDemoAttrs gives the shell something to query out of the box.
+func seedDemoAttrs(c *moara.SimCluster) {
+	for i := 0; i < c.Size(); i++ {
+		c.SetAttr(i, "cpu_util", moara.Float(float64((i*53)%100)))
+		c.SetAttr(i, "mem_util", moara.Float(float64((i*29)%100)))
+		c.SetAttr(i, "apache", moara.Bool(i%2 == 0))
+		c.SetAttr(i, "service_x", moara.Bool(i%5 == 0))
+		c.SetAttr(i, "os", moara.Str([]string{"linux", "freebsd", "solaris"}[i%3]))
+	}
+}

@@ -1,0 +1,511 @@
+// Package aggregate implements the partially aggregatable functions of
+// the paper's query model (§3.1): SUM, COUNT, MIN, MAX, AVG, TOP-K and
+// ENUMERATE. Partial aggregation means that merging the states of two
+// disjoint node sets yields the state of their union, which is what lets
+// Moara combine answers up an aggregation tree in any grouping order.
+// That merge law is enforced by property tests.
+package aggregate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/moara/moara/internal/ids"
+	"github.com/moara/moara/internal/value"
+)
+
+// Kind enumerates aggregation functions.
+type Kind uint8
+
+// The supported aggregation functions.
+const (
+	KindInvalid Kind = iota
+	KindSum
+	KindCount
+	KindMin
+	KindMax
+	KindAvg
+	KindTopK
+	KindEnum
+	// KindStd computes the population standard deviation — an
+	// extension beyond the paper's list, still partially aggregatable
+	// via (count, sum, sum-of-squares).
+	KindStd
+)
+
+// String returns the function's query-language name.
+func (k Kind) String() string {
+	switch k {
+	case KindSum:
+		return "sum"
+	case KindCount:
+		return "count"
+	case KindMin:
+		return "min"
+	case KindMax:
+		return "max"
+	case KindAvg:
+		return "avg"
+	case KindTopK:
+		return "top"
+	case KindEnum:
+		return "enum"
+	case KindStd:
+		return "std"
+	default:
+		return "invalid"
+	}
+}
+
+// Spec identifies an aggregation function instance. K is the list bound
+// for TOP-K and ignored otherwise.
+type Spec struct {
+	Kind Kind
+	K    int
+}
+
+// String renders the spec as it appears in the query language.
+func (s Spec) String() string {
+	if s.Kind == KindTopK {
+		return fmt.Sprintf("top%d", s.K)
+	}
+	return s.Kind.String()
+}
+
+// ParseSpec parses an aggregation function name: sum, count, min, max,
+// avg, enum, or topN (e.g. top3).
+func ParseSpec(name string) (Spec, error) {
+	n := strings.ToLower(strings.TrimSpace(name))
+	switch n {
+	case "sum":
+		return Spec{Kind: KindSum}, nil
+	case "count":
+		return Spec{Kind: KindCount}, nil
+	case "min":
+		return Spec{Kind: KindMin}, nil
+	case "max":
+		return Spec{Kind: KindMax}, nil
+	case "avg", "average", "mean":
+		return Spec{Kind: KindAvg}, nil
+	case "enum", "enumerate", "list":
+		return Spec{Kind: KindEnum}, nil
+	case "std", "stddev":
+		return Spec{Kind: KindStd}, nil
+	}
+	if rest, ok := strings.CutPrefix(n, "top"); ok {
+		if rest == "" {
+			return Spec{Kind: KindTopK, K: 1}, nil
+		}
+		k, err := strconv.Atoi(rest)
+		if err != nil || k <= 0 {
+			return Spec{}, fmt.Errorf("aggregate: bad top-k spec %q", name)
+		}
+		return Spec{Kind: KindTopK, K: k}, nil
+	}
+	return Spec{}, fmt.Errorf("aggregate: unknown function %q", name)
+}
+
+// Entry is one node's contribution in list-valued results.
+type Entry struct {
+	Node  ids.ID
+	Value value.Value
+}
+
+// State is a partial aggregate for some set of nodes. The zero State of
+// a Spec (via New) represents the empty set.
+//
+// All State implementations have exported fields and are registered for
+// gob so they can cross the TCP transport.
+type State interface {
+	// Add folds one node's local value into the state. Invalid values
+	// (missing attributes) are ignored except by COUNT over "*".
+	Add(node ids.ID, v value.Value)
+	// Merge folds another state of the same Spec into this one.
+	Merge(other State) error
+	// Result extracts the final answer.
+	Result() Result
+	// Nodes reports how many node contributions the state holds.
+	Nodes() int64
+}
+
+// Result is a completed aggregation: a scalar value, a list, or both
+// (TOP-K and ENUMERATE fill Entries; the rest fill Value).
+type Result struct {
+	Value   value.Value
+	Entries []Entry
+}
+
+// String renders the result for display.
+func (r Result) String() string {
+	if r.Entries == nil {
+		return r.Value.String()
+	}
+	parts := make([]string, 0, len(r.Entries))
+	for _, e := range r.Entries {
+		parts = append(parts, fmt.Sprintf("%s=%s", e.Node.Short(), e.Value))
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// New creates the empty state for the spec.
+func (s Spec) New() State {
+	switch s.Kind {
+	case KindSum:
+		return &SumState{}
+	case KindCount:
+		return &CountState{}
+	case KindMin:
+		return &ExtremeState{Max: false}
+	case KindMax:
+		return &ExtremeState{Max: true}
+	case KindAvg:
+		return &AvgState{}
+	case KindTopK:
+		k := s.K
+		if k <= 0 {
+			k = 1
+		}
+		return &TopKState{K: k}
+	case KindEnum:
+		return &EnumState{}
+	case KindStd:
+		return &StdState{}
+	default:
+		panic(fmt.Sprintf("aggregate: New on invalid spec %v", s))
+	}
+}
+
+// ---------------------------------------------------------------------
+
+// SumState sums numeric contributions.
+type SumState struct {
+	Valid bool
+	V     value.Value
+	N     int64
+}
+
+// Add folds one node's value in.
+func (s *SumState) Add(_ ids.ID, v value.Value) {
+	if !v.IsNumeric() {
+		if b, ok := v.AsBool(); ok {
+			// Booleans sum as 0/1, matching the paper's (A, SUM, A=1)
+			// usage for counting flag attributes.
+			iv := int64(0)
+			if b {
+				iv = 1
+			}
+			v = value.Int(iv)
+		} else {
+			return
+		}
+	}
+	s.N++
+	if !s.Valid {
+		s.V, s.Valid = v, true
+		return
+	}
+	sum, err := value.Add(s.V, v)
+	if err == nil {
+		s.V = sum
+	}
+}
+
+// Merge folds another SumState in.
+func (s *SumState) Merge(other State) error {
+	o, ok := other.(*SumState)
+	if !ok {
+		return fmt.Errorf("aggregate: merge %T into SumState", other)
+	}
+	if !o.Valid {
+		return nil
+	}
+	s.N += o.N
+	if !s.Valid {
+		s.V, s.Valid = o.V, true
+		return nil
+	}
+	sum, err := value.Add(s.V, o.V)
+	if err != nil {
+		return err
+	}
+	s.V = sum
+	return nil
+}
+
+// Result returns the sum (Int 0 when no contributions).
+func (s *SumState) Result() Result {
+	if !s.Valid {
+		return Result{Value: value.Int(0)}
+	}
+	return Result{Value: s.V}
+}
+
+// Nodes reports the number of contributions.
+func (s *SumState) Nodes() int64 { return s.N }
+
+// ---------------------------------------------------------------------
+
+// CountState counts contributing nodes.
+type CountState struct {
+	N int64
+}
+
+// Add counts the node when it contributes any valid value.
+func (s *CountState) Add(_ ids.ID, v value.Value) {
+	if v.IsValid() {
+		s.N++
+	}
+}
+
+// Merge folds another CountState in.
+func (s *CountState) Merge(other State) error {
+	o, ok := other.(*CountState)
+	if !ok {
+		return fmt.Errorf("aggregate: merge %T into CountState", other)
+	}
+	s.N += o.N
+	return nil
+}
+
+// Result returns the count.
+func (s *CountState) Result() Result { return Result{Value: value.Int(s.N)} }
+
+// Nodes reports the number of contributions.
+func (s *CountState) Nodes() int64 { return s.N }
+
+// ---------------------------------------------------------------------
+
+// ExtremeState tracks the minimum or maximum contribution and the node
+// that reported it.
+type ExtremeState struct {
+	Max   bool
+	Valid bool
+	Best  Entry
+	N     int64
+}
+
+// Add folds one node's value in.
+func (s *ExtremeState) Add(node ids.ID, v value.Value) {
+	if !v.IsValid() {
+		return
+	}
+	s.N++
+	if !s.Valid {
+		s.Best = Entry{Node: node, Value: v}
+		s.Valid = true
+		return
+	}
+	c, err := value.Compare(v, s.Best.Value)
+	if err != nil {
+		return
+	}
+	if (s.Max && c > 0) || (!s.Max && c < 0) {
+		s.Best = Entry{Node: node, Value: v}
+	}
+}
+
+// Merge folds another ExtremeState in.
+func (s *ExtremeState) Merge(other State) error {
+	o, ok := other.(*ExtremeState)
+	if !ok || o.Max != s.Max {
+		return fmt.Errorf("aggregate: merge %T into ExtremeState(max=%v)", other, s.Max)
+	}
+	if !o.Valid {
+		return nil
+	}
+	n := s.N + o.N
+	s.Add(o.Best.Node, o.Best.Value)
+	s.N = n
+	return nil
+}
+
+// Result returns the extreme value (invalid when no contributions).
+func (s *ExtremeState) Result() Result {
+	if !s.Valid {
+		return Result{}
+	}
+	return Result{Value: s.Best.Value, Entries: []Entry{s.Best}}
+}
+
+// Nodes reports the number of contributions.
+func (s *ExtremeState) Nodes() int64 { return s.N }
+
+// ---------------------------------------------------------------------
+
+// AvgState composes SUM and COUNT, as §3.1 prescribes.
+type AvgState struct {
+	Sum SumState
+}
+
+// Add folds one node's value in.
+func (s *AvgState) Add(node ids.ID, v value.Value) { s.Sum.Add(node, v) }
+
+// Merge folds another AvgState in.
+func (s *AvgState) Merge(other State) error {
+	o, ok := other.(*AvgState)
+	if !ok {
+		return fmt.Errorf("aggregate: merge %T into AvgState", other)
+	}
+	return s.Sum.Merge(&o.Sum)
+}
+
+// Result returns sum/count as a float (invalid when no contributions).
+func (s *AvgState) Result() Result {
+	if s.Sum.N == 0 {
+		return Result{}
+	}
+	f, _ := s.Sum.V.AsFloat()
+	return Result{Value: value.Float(f / float64(s.Sum.N))}
+}
+
+// Nodes reports the number of contributions.
+func (s *AvgState) Nodes() int64 { return s.Sum.N }
+
+// ---------------------------------------------------------------------
+
+// TopKState keeps the K largest contributions, ordered descending with
+// node IDs breaking ties so merges are deterministic.
+type TopKState struct {
+	K       int
+	Entries []Entry
+	N       int64
+}
+
+// Add folds one node's value in.
+func (s *TopKState) Add(node ids.ID, v value.Value) {
+	if !v.IsValid() {
+		return
+	}
+	s.N++
+	s.Entries = append(s.Entries, Entry{Node: node, Value: v})
+	s.compact()
+}
+
+// Merge folds another TopKState in.
+func (s *TopKState) Merge(other State) error {
+	o, ok := other.(*TopKState)
+	if !ok {
+		return fmt.Errorf("aggregate: merge %T into TopKState", other)
+	}
+	s.N += o.N
+	s.Entries = append(s.Entries, o.Entries...)
+	s.compact()
+	return nil
+}
+
+func (s *TopKState) compact() {
+	sort.Slice(s.Entries, func(i, j int) bool {
+		c, err := value.Compare(s.Entries[i].Value, s.Entries[j].Value)
+		if err == nil && c != 0 {
+			return c > 0
+		}
+		return ids.Less(s.Entries[i].Node, s.Entries[j].Node)
+	})
+	if len(s.Entries) > s.K {
+		s.Entries = s.Entries[:s.K]
+	}
+}
+
+// Result returns the top-K list.
+func (s *TopKState) Result() Result {
+	out := make([]Entry, len(s.Entries))
+	copy(out, s.Entries)
+	r := Result{Entries: out}
+	if len(out) > 0 {
+		r.Value = out[0].Value
+	}
+	return r
+}
+
+// Nodes reports the number of contributions.
+func (s *TopKState) Nodes() int64 { return s.N }
+
+// ---------------------------------------------------------------------
+
+// EnumState lists every contribution (the paper's enumeration function).
+type EnumState struct {
+	Entries []Entry
+}
+
+// Add folds one node's value in.
+func (s *EnumState) Add(node ids.ID, v value.Value) {
+	if !v.IsValid() {
+		return
+	}
+	s.Entries = append(s.Entries, Entry{Node: node, Value: v})
+}
+
+// Merge folds another EnumState in.
+func (s *EnumState) Merge(other State) error {
+	o, ok := other.(*EnumState)
+	if !ok {
+		return fmt.Errorf("aggregate: merge %T into EnumState", other)
+	}
+	s.Entries = append(s.Entries, o.Entries...)
+	return nil
+}
+
+// Result returns the full list, sorted by node ID for determinism.
+func (s *EnumState) Result() Result {
+	out := make([]Entry, len(s.Entries))
+	copy(out, s.Entries)
+	sort.Slice(out, func(i, j int) bool { return ids.Less(out[i].Node, out[j].Node) })
+	r := Result{Entries: out}
+	r.Value = value.Int(int64(len(out)))
+	return r
+}
+
+// Nodes reports the number of contributions.
+func (s *EnumState) Nodes() int64 { return int64(len(s.Entries)) }
+
+// ---------------------------------------------------------------------
+
+// StdState computes the population standard deviation from the moment
+// sums (n, Σx, Σx²), which merge by simple addition.
+type StdState struct {
+	N     int64
+	Sum   float64
+	SumSq float64
+}
+
+// Add folds one node's value in.
+func (s *StdState) Add(_ ids.ID, v value.Value) {
+	f, ok := v.AsFloat()
+	if !ok {
+		return
+	}
+	s.N++
+	s.Sum += f
+	s.SumSq += f * f
+}
+
+// Merge folds another StdState in.
+func (s *StdState) Merge(other State) error {
+	o, ok := other.(*StdState)
+	if !ok {
+		return fmt.Errorf("aggregate: merge %T into StdState", other)
+	}
+	s.N += o.N
+	s.Sum += o.Sum
+	s.SumSq += o.SumSq
+	return nil
+}
+
+// Result returns sqrt(E[x²]-E[x]²); invalid with no contributions.
+func (s *StdState) Result() Result {
+	if s.N == 0 {
+		return Result{}
+	}
+	mean := s.Sum / float64(s.N)
+	variance := s.SumSq/float64(s.N) - mean*mean
+	if variance < 0 {
+		variance = 0 // numeric guard
+	}
+	return Result{Value: value.Float(math.Sqrt(variance))}
+}
+
+// Nodes reports the number of contributions.
+func (s *StdState) Nodes() int64 { return s.N }

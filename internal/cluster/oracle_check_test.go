@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/moara/moara/internal/aggregate"
+	"github.com/moara/moara/internal/core"
+	"github.com/moara/moara/internal/predicate"
+	"github.com/moara/moara/internal/value"
+)
+
+// TestRandomQueriesMatchBruteForce is the end-to-end correctness
+// model check: random attribute populations, random composite
+// predicates, random aggregation functions — Moara's distributed
+// answer must equal direct evaluation over every node's store.
+func TestRandomQueriesMatchBruteForce(t *testing.T) {
+	c := New(Options{N: 160, Seed: 41})
+	rng := rand.New(rand.NewSource(41))
+
+	attrs := []string{"p", "q", "r"}
+	for _, n := range c.Nodes {
+		for _, a := range attrs {
+			if rng.Intn(5) == 0 {
+				continue // some nodes lack the attribute
+			}
+			n.Store().SetInt(a, int64(rng.Intn(5)))
+		}
+		n.Store().SetInt("val", int64(rng.Intn(1000)))
+	}
+
+	specs := []aggregate.Spec{
+		{Kind: aggregate.KindSum},
+		{Kind: aggregate.KindCount},
+		{Kind: aggregate.KindMin},
+		{Kind: aggregate.KindMax},
+		{Kind: aggregate.KindAvg},
+	}
+
+	for trial := 0; trial < 40; trial++ {
+		pred := randomPred(rng, attrs, 3)
+		spec := specs[rng.Intn(len(specs))]
+		req := core.Request{Attr: "val", Spec: spec, Pred: pred}
+
+		// Brute force over all stores.
+		want := spec.New()
+		for i, n := range c.Nodes {
+			if pred == nil || pred.Eval(n.Store()) {
+				want.Add(c.IDs[i], n.Store().Get("val"))
+			}
+		}
+		res, err := c.Execute(trial%len(c.Nodes), req)
+		if err != nil {
+			t.Fatalf("trial %d (%s %v): %v", trial, spec, pred, err)
+		}
+		wr := want.Result()
+		if res.Contributors != want.Nodes() {
+			t.Fatalf("trial %d (%s over %v): contributors %d, want %d",
+				trial, spec, pred, res.Contributors, want.Nodes())
+		}
+		if wr.Value.IsValid() != res.Agg.Value.IsValid() ||
+			(wr.Value.IsValid() && !valuesClose(wr.Value, res.Agg.Value)) {
+			t.Fatalf("trial %d (%s over %v): got %v, want %v",
+				trial, spec, pred, res.Agg.Value, wr.Value)
+		}
+		// Occasionally churn attributes between trials.
+		for j := 0; j < 10; j++ {
+			i := rng.Intn(len(c.Nodes))
+			a := attrs[rng.Intn(len(attrs))]
+			c.Nodes[i].Store().SetInt(a, int64(rng.Intn(5)))
+		}
+		c.RunFor(200 * time.Millisecond)
+	}
+}
+
+// valuesClose compares results with float tolerance (AVG divides).
+func valuesClose(a, b value.Value) bool {
+	af, aok := a.AsFloat()
+	bf, bok := b.AsFloat()
+	if aok && bok {
+		diff := af - bf
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 1e-9*(1+abs(af))
+	}
+	return value.Equal(a, b)
+}
+
+func abs(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+func randomPred(rng *rand.Rand, attrs []string, depth int) predicate.Expr {
+	if rng.Intn(6) == 0 {
+		return nil // global query
+	}
+	return randomPredExpr(rng, attrs, depth)
+}
+
+func randomPredExpr(rng *rand.Rand, attrs []string, depth int) predicate.Expr {
+	if depth == 0 || rng.Intn(3) == 0 {
+		ops := []predicate.Op{
+			predicate.OpLT, predicate.OpGT, predicate.OpLE,
+			predicate.OpGE, predicate.OpEQ, predicate.OpNE,
+		}
+		return predicate.Simple{
+			Attr: attrs[rng.Intn(len(attrs))],
+			Op:   ops[rng.Intn(len(ops))],
+			Val:  value.Int(int64(rng.Intn(5))),
+		}
+	}
+	n := 2 + rng.Intn(2)
+	terms := make([]predicate.Expr, n)
+	for i := range terms {
+		terms[i] = randomPredExpr(rng, attrs, depth-1)
+	}
+	if rng.Intn(2) == 0 {
+		return predicate.And{Terms: terms}
+	}
+	return predicate.Or{Terms: terms}
+}
+
+// TestTopKAndEnumEndToEnd checks the list-valued aggregates across the
+// network (ordering and membership must survive distributed merging).
+func TestTopKAndEnumEndToEnd(t *testing.T) {
+	c := New(Options{N: 64, Seed: 43})
+	for i, n := range c.Nodes {
+		n.Store().SetInt("score", int64((i*37)%100))
+		n.Store().SetBool("g", i%2 == 0)
+	}
+	res, err := c.ExecuteText(0, "top5(score) where g = true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Agg.Entries) != 5 {
+		t.Fatalf("top5 entries = %d", len(res.Agg.Entries))
+	}
+	prev := int64(101)
+	for _, e := range res.Agg.Entries {
+		v, _ := e.Value.AsInt()
+		if v > prev {
+			t.Fatalf("top5 not descending: %v", res.Agg.Entries)
+		}
+		prev = v
+	}
+	// Brute-force the expected max.
+	wantMax := int64(0)
+	for i := range c.Nodes {
+		if i%2 == 0 {
+			if v := int64((i * 37) % 100); v > wantMax {
+				wantMax = v
+			}
+		}
+	}
+	if got, _ := res.Agg.Entries[0].Value.AsInt(); got != wantMax {
+		t.Fatalf("top5[0] = %d, want %d", got, wantMax)
+	}
+
+	enumRes, err := c.ExecuteText(0, "enum(score) where g = true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enumRes.Agg.Entries) != 32 {
+		t.Fatalf("enum entries = %d, want 32", len(enumRes.Agg.Entries))
+	}
+}
+
+// TestStringGroupsManySlices exercises many simultaneous trees with
+// string-equality groups (the PlanetLab slice pattern).
+func TestStringGroupsManySlices(t *testing.T) {
+	const slices = 20
+	c := New(Options{N: 200, Seed: 47})
+	counts := make([]int64, slices)
+	rng := rand.New(rand.NewSource(47))
+	for _, n := range c.Nodes {
+		s := rng.Intn(slices)
+		n.Store().SetString("slice", fmt.Sprintf("s%02d", s))
+		counts[s]++
+	}
+	for s := 0; s < slices; s++ {
+		res, err := c.ExecuteText(0, fmt.Sprintf("count(*) where slice = s%02d", s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := res.Agg.Value.AsInt(); got != counts[s] {
+			t.Fatalf("slice %d: count = %d, want %d", s, got, counts[s])
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package core implements the Moara node: group aggregation trees carved
+// out of DHT broadcast trees, the sat/update/prune dynamic-maintenance
+// state machine (§4), the separate query plane (§5), per-tree query-cost
+// estimation, and the composite-query front-end (§6).
+package core
+
+import "time"
+
+// Mode selects the maintenance strategy; the non-default modes implement
+// the paper's comparison baselines.
+type Mode uint8
+
+const (
+	// ModeAdaptive is Moara's dynamic adaptation policy (§4).
+	ModeAdaptive Mode = iota
+	// ModeGlobal never maintains group state: every query is broadcast
+	// to all nodes ("Global" in Fig. 9).
+	ModeGlobal
+	// ModeAlwaysUpdate pins every node in UPDATE state, eagerly
+	// propagating every membership change ("Moara (Always-Update)").
+	ModeAlwaysUpdate
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeGlobal:
+		return "global"
+	case ModeAlwaysUpdate:
+		return "always-update"
+	default:
+		return "adaptive"
+	}
+}
+
+// CoverPolicy selects how the front-end picks among candidate covers
+// (§6.3). The non-default policies are ablation switches used by the
+// evaluation harness.
+type CoverPolicy uint8
+
+const (
+	// CoverCheapest is Moara's policy: probe costs, pick the cheapest
+	// cover.
+	CoverCheapest CoverPolicy = iota
+	// CoverAll queries every group of every cover (a planner without
+	// cover selection).
+	CoverAll
+	// CoverDearest inverts the choice (worst-case cover), bounding the
+	// value of the probes.
+	CoverDearest
+)
+
+// Config tunes a Moara node. The zero value plus Defaults() matches the
+// paper's implementation choices.
+type Config struct {
+	// Mode selects adaptive maintenance or a baseline strategy.
+	Mode Mode
+	// Covers selects the cover-choice policy (ablation knob).
+	Covers CoverPolicy
+	// Threshold is the separate-query-plane threshold (§5). 1 disables
+	// the SQP (plain pruned trees); the paper finds 2 captures most of
+	// the benefit.
+	Threshold int
+	// KUpdate is the event-window length used while in UPDATE state
+	// (paper default 1).
+	KUpdate int
+	// KNoUpdate is the event-window length used while in NO-UPDATE
+	// state (paper default 3).
+	KNoUpdate int
+	// ChildTimeout bounds how long a node waits for a child's query
+	// response before aggregating without it (§7).
+	ChildTimeout time.Duration
+	// ProbeTimeout bounds how long the front-end waits for size
+	// probes before falling back to conservative cost estimates.
+	ProbeTimeout time.Duration
+	// SeenTTL is how long answered query IDs are remembered for
+	// duplicate elimination (paper: 5 minutes).
+	SeenTTL time.Duration
+	// StateTTL garbage-collects predicate state idle for this long
+	// while in NO-UPDATE (0 disables GC).
+	StateTTL time.Duration
+	// ProbeCacheTTL caches group-cost probes at the front-end. The
+	// paper probes on every composite query, so the default is 0.
+	ProbeCacheTTL time.Duration
+	// QueryTimeout bounds a front-end query end to end.
+	QueryTimeout time.Duration
+	// MaxCNFClauses caps CNF expansion during planning; larger
+	// composite predicates fall back to querying every mentioned
+	// group (still complete).
+	MaxCNFClauses int
+}
+
+// Defaults fills unset fields with the paper's parameter choices.
+func (c Config) Defaults() Config {
+	if c.Threshold == 0 {
+		c.Threshold = 2
+	}
+	if c.KUpdate == 0 {
+		c.KUpdate = 1
+	}
+	if c.KNoUpdate == 0 {
+		c.KNoUpdate = 3
+	}
+	if c.ChildTimeout == 0 {
+		c.ChildTimeout = 2 * time.Second
+	}
+	if c.ProbeTimeout == 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.SeenTTL == 0 {
+		c.SeenTTL = 5 * time.Minute
+	}
+	if c.QueryTimeout == 0 {
+		c.QueryTimeout = 15 * time.Second
+	}
+	if c.MaxCNFClauses == 0 {
+		c.MaxCNFClauses = 128
+	}
+	return c
+}

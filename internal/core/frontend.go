@@ -1,0 +1,335 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/moara/moara/internal/aggregate"
+	"github.com/moara/moara/internal/ids"
+	"github.com/moara/moara/internal/predicate"
+)
+
+// Request is one front-end query: (query-attribute, aggregation
+// function, group-predicate), the paper's query triple (§3.1).
+type Request struct {
+	// Attr is the attribute to aggregate; "*" contributes 1 per node.
+	Attr string
+	// Spec is the aggregation function.
+	Spec aggregate.Spec
+	// Pred is the group predicate; nil aggregates over all nodes.
+	Pred predicate.Expr
+}
+
+// ExecStats reports how a query was planned and how long its phases
+// took; the Fig. 13(b) experiments read these.
+type ExecStats struct {
+	// Covers are the candidate covers considered.
+	Covers [][]string
+	// Chosen is the selected cover.
+	Chosen []string
+	// Costs are the probed per-group query-cost estimates.
+	Costs map[string]float64
+	// ProbeTime is the size-probe phase duration (zero when no probes
+	// were needed).
+	ProbeTime time.Duration
+	// QueryTime is the dissemination/aggregation phase duration.
+	QueryTime time.Duration
+	// TotalTime is end-to-end latency.
+	TotalTime time.Duration
+	// ShortCircuit marks a provably empty result answered locally.
+	ShortCircuit bool
+	// FellBack marks a plan that skipped CNF optimization.
+	FellBack bool
+	// Probed is the number of size probes issued.
+	Probed int
+}
+
+// Result is a completed query.
+type Result struct {
+	// Agg is the aggregate answer.
+	Agg aggregate.Result
+	// Contributors is the number of nodes that contributed a value.
+	Contributors int64
+	// Stats describes planning and timing.
+	Stats ExecStats
+}
+
+// frontend drives composite-query planning, size probes, sub-queries,
+// and result merging for queries originating at this node (§6).
+type frontend struct {
+	n          *Node
+	pending    map[QueryID]*feQuery
+	probeIndex map[QueryID]*feQuery
+	probeCache map[string]probeEntry
+}
+
+type probeEntry struct {
+	cost float64
+	at   time.Duration
+}
+
+type feQuery struct {
+	qid  QueryID
+	req  Request
+	cb   func(Result, error)
+	plan queryPlan
+
+	probeQIDs   map[QueryID]string
+	costs       map[string]float64
+	probeCancel func()
+
+	groupsPending map[string]bool
+	agg           aggregate.State
+	queryCancel   func()
+
+	stats        ExecStats
+	startAt      time.Duration
+	queryStartAt time.Duration
+	done         bool
+}
+
+func (fe *frontend) init(n *Node) {
+	fe.n = n
+	fe.pending = make(map[QueryID]*feQuery)
+	fe.probeIndex = make(map[QueryID]*feQuery)
+	fe.probeCache = make(map[string]probeEntry)
+}
+
+func (n *Node) nextQID() QueryID {
+	n.qidCounter++
+	return QueryID{Origin: n.self, Num: n.qidCounter}
+}
+
+// Execute runs a query from this node, invoking cb exactly once with
+// the merged result (or an error). It must be called on the node's
+// event goroutine; the callback runs there too.
+func (n *Node) Execute(req Request, cb func(Result, error)) {
+	n.fe.execute(req, cb)
+}
+
+func (fe *frontend) execute(req Request, cb func(Result, error)) {
+	n := fe.n
+	if req.Spec.Kind == aggregate.KindInvalid {
+		cb(Result{}, fmt.Errorf("core: invalid aggregation spec"))
+		return
+	}
+	if req.Attr == "" {
+		cb(Result{}, fmt.Errorf("core: empty query attribute"))
+		return
+	}
+	plan := buildPlan(req.Attr, req.Pred, n.cfg.MaxCNFClauses)
+	fq := &feQuery{
+		qid:     n.nextQID(),
+		req:     req,
+		cb:      cb,
+		plan:    plan,
+		costs:   make(map[string]float64),
+		agg:     req.Spec.New(),
+		startAt: n.env.Now(),
+	}
+	fq.stats.FellBack = plan.fellBack
+	for _, cover := range plan.covers {
+		fq.stats.Covers = append(fq.stats.Covers, coverCanons(cover))
+	}
+	if plan.empty {
+		fq.stats.ShortCircuit = true
+		fq.finish(n, nil)
+		return
+	}
+	if plan.singleTrivialCover() {
+		fe.startSubQueries(fq)
+		return
+	}
+	fe.startProbes(fq)
+}
+
+// startProbes issues size probes for every non-global group in any
+// cover (§6.3). Cached costs within ProbeCacheTTL are reused.
+func (fe *frontend) startProbes(fq *feQuery) {
+	n := fe.n
+	fq.probeQIDs = make(map[QueryID]string)
+	now := n.env.Now()
+	for _, g := range fq.plan.distinctGroupsOfPlan() {
+		if g.expr == nil {
+			fq.costs[g.canon] = 2 * n.overlay.EstimateSize()
+			continue
+		}
+		if ce, ok := fe.probeCache[g.canon]; ok && n.cfg.ProbeCacheTTL > 0 && now-ce.at <= n.cfg.ProbeCacheTTL {
+			fq.costs[g.canon] = ce.cost
+			continue
+		}
+		pqid := n.nextQID()
+		fq.probeQIDs[pqid] = g.canon
+		fe.probeIndex[pqid] = fq
+		n.overlay.Route(g.treeKey(), ProbeMsg{
+			QID:     pqid,
+			Group:   g.canon,
+			Attr:    g.attr,
+			ReplyTo: n.self,
+		})
+	}
+	fq.stats.Probed = len(fq.probeQIDs)
+	if len(fq.probeQIDs) == 0 {
+		fe.startSubQueries(fq)
+		return
+	}
+	fq.probeCancel = n.env.After(n.cfg.ProbeTimeout, func() {
+		// Missing probes fall back to the conservative system-size
+		// cost; planning proceeds.
+		for pqid := range fq.probeQIDs {
+			delete(fe.probeIndex, pqid)
+		}
+		fq.probeQIDs = nil
+		fe.startSubQueries(fq)
+	})
+}
+
+func (fe *frontend) handleProbeResp(pr ProbeRespMsg) {
+	fq, ok := fe.probeIndex[pr.QID]
+	if !ok {
+		return
+	}
+	delete(fe.probeIndex, pr.QID)
+	delete(fq.probeQIDs, pr.QID)
+	fq.costs[pr.Group] = pr.Cost
+	fe.probeCache[pr.Group] = probeEntry{cost: pr.Cost, at: fe.n.env.Now()}
+	if len(fq.probeQIDs) == 0 && !fq.done {
+		if fq.probeCancel != nil {
+			fq.probeCancel()
+			fq.probeCancel = nil
+		}
+		fe.startSubQueries(fq)
+	}
+}
+
+// chooseCover picks a cover per the configured policy: cheapest by
+// probed cost (Moara, breaking ties toward fewer groups and then
+// lexicographic order), every group (CoverAll ablation), or the most
+// expensive (CoverDearest ablation).
+func (fe *frontend) chooseCover(fq *feQuery) []groupSpec {
+	n := fe.n
+	if n.cfg.Covers == CoverAll {
+		return fq.plan.distinctGroupsOfPlan()
+	}
+	fallbackCost := 2 * n.overlay.EstimateSize()
+	best := -1
+	bestCost := 0.0
+	for i, cover := range fq.plan.covers {
+		cost := 0.0
+		for _, g := range cover {
+			if c, ok := fq.costs[g.canon]; ok {
+				cost += c
+			} else {
+				cost += fallbackCost
+			}
+		}
+		var better bool
+		if n.cfg.Covers == CoverDearest {
+			better = best < 0 || cost > bestCost
+		} else {
+			better = best < 0 || cost < bestCost ||
+				(cost == bestCost && len(cover) < len(fq.plan.covers[best])) ||
+				(cost == bestCost && len(cover) == len(fq.plan.covers[best]) && coverKey(cover) < coverKey(fq.plan.covers[best]))
+		}
+		if better {
+			best, bestCost = i, cost
+		}
+	}
+	return fq.plan.covers[best]
+}
+
+func (fe *frontend) startSubQueries(fq *feQuery) {
+	n := fe.n
+	cover := fe.chooseCover(fq)
+	fq.stats.Chosen = coverCanons(cover)
+	fq.stats.Costs = fq.costs
+	fq.queryStartAt = n.env.Now()
+	fq.stats.ProbeTime = fq.queryStartAt - fq.startAt
+	fq.groupsPending = make(map[string]bool, len(cover))
+	fe.pending[fq.qid] = fq
+	for _, g := range cover {
+		eval := fq.plan.evalCanon
+		if eval == g.canon {
+			eval = ""
+		}
+		fq.groupsPending[g.canon] = true
+		n.overlay.Route(g.treeKey(), SubQueryMsg{
+			QID:     fq.qid,
+			Group:   g.canon,
+			Eval:    eval,
+			Attr:    fq.req.Attr,
+			Spec:    fq.req.Spec,
+			ReplyTo: n.self,
+		})
+	}
+	fq.queryCancel = n.env.After(n.cfg.QueryTimeout, func() {
+		if !fq.done {
+			fq.finish(n, nil)
+		}
+	})
+}
+
+// handleQueryResp consumes a tree root's aggregated answer.
+func (fe *frontend) handleQueryResp(_ ids.ID, rm ResponseMsg) {
+	fq, ok := fe.pending[rm.QID]
+	if !ok || !fq.groupsPending[rm.Group] {
+		return
+	}
+	delete(fq.groupsPending, rm.Group)
+	if !rm.Dup && rm.State != nil {
+		_ = fq.agg.Merge(rm.State)
+	}
+	if len(fq.groupsPending) == 0 {
+		fq.finish(fe.n, nil)
+	}
+}
+
+func (fq *feQuery) finish(n *Node, err error) {
+	if fq.done {
+		return
+	}
+	fq.done = true
+	if fq.queryCancel != nil {
+		fq.queryCancel()
+	}
+	if fq.probeCancel != nil {
+		fq.probeCancel()
+	}
+	delete(n.fe.pending, fq.qid)
+	for pqid := range fq.probeQIDs {
+		delete(n.fe.probeIndex, pqid)
+	}
+	now := n.env.Now()
+	fq.stats.TotalTime = now - fq.startAt
+	if fq.queryStartAt > 0 || !fq.stats.ShortCircuit {
+		fq.stats.QueryTime = now - fq.queryStartAt
+		if fq.queryStartAt == 0 {
+			fq.stats.QueryTime = 0
+		}
+	}
+	res := Result{
+		Agg:          fq.agg.Result(),
+		Contributors: fq.agg.Nodes(),
+		Stats:        fq.stats,
+	}
+	fq.cb(res, err)
+}
+
+func coverCanons(cover []groupSpec) []string {
+	out := make([]string, len(cover))
+	for i, g := range cover {
+		out[i] = g.canon
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParseRequest builds a Request from query-language text:
+//
+//	<agg>(<attr>) [where <predicate>]
+//
+// e.g. "avg(mem_util) where service_x = true and apache = true".
+func ParseRequest(s string) (Request, error) {
+	return parseRequestText(s)
+}

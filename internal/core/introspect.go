@@ -1,0 +1,56 @@
+package core
+
+import (
+	"sort"
+)
+
+// TreeInfo is a read-only snapshot of one group tree's local state,
+// for operational introspection (the shell's "trees" command and
+// debugging).
+type TreeInfo struct {
+	// Group is the canonical group predicate.
+	Group string
+	// Level is this node's depth in the tree (-1 if unknown).
+	Level int
+	// HasParent reports whether a tree parent is known.
+	HasParent bool
+	// SatLocal reports local predicate satisfaction.
+	SatLocal bool
+	// Sat is Procedure 1's aggregate satisfiability.
+	Sat bool
+	// Update reports UPDATE (true) vs NO-UPDATE state.
+	Update bool
+	// Prune reports whether this branch is advertised prunable.
+	Prune bool
+	// QSetSize is the current query-target count.
+	QSetSize int
+	// Children is the number of children with recorded state.
+	Children int
+	// Np is the subtree's query-plane size estimate.
+	Np int
+	// LastSeq is the newest observed query sequence number.
+	LastSeq uint64
+}
+
+// Trees snapshots every group tree this node currently holds state
+// for, sorted by group for stable display.
+func (n *Node) Trees() []TreeInfo {
+	out := make([]TreeInfo, 0, len(n.preds))
+	for canon, ps := range n.preds {
+		out = append(out, TreeInfo{
+			Group:     canon,
+			Level:     ps.level,
+			HasParent: ps.hasParent,
+			SatLocal:  ps.satLocal,
+			Sat:       ps.sat,
+			Update:    ps.update,
+			Prune:     ps.prune,
+			QSetSize:  len(ps.qSet),
+			Children:  len(ps.children),
+			Np:        ps.np,
+			LastSeq:   ps.lastSeq,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Group < out[j].Group })
+	return out
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/moara/moara/internal/aggregate"
+	"github.com/moara/moara/internal/ids"
+)
+
+// QueryID uniquely identifies one front-end query across every tree it
+// touches; nodes use it to answer exactly once even when a composite
+// cover queries them through multiple trees (§6.2).
+type QueryID struct {
+	Origin ids.ID
+	Num    uint64
+}
+
+// String renders the query ID.
+func (q QueryID) String() string { return fmt.Sprintf("%s#%d", q.Origin.Short(), q.Num) }
+
+// SetEntry is one member of an updateSet or qSet: a node plus the
+// broadcast level it operates at (so SQP jumps carry enough context for
+// the target to enumerate its own structural children).
+type SetEntry struct {
+	ID    ids.ID
+	Level int
+	// Jump marks entries reached by bypassing an intermediate node
+	// (§5). It is derived locally during recomputation — a child's
+	// updateSet entry that is not the child itself — and is not
+	// meaningful on the wire.
+	Jump bool `json:"-"`
+}
+
+// SubQueryMsg is routed through the overlay to the root of one group's
+// tree, where dissemination starts. Predicates travel in canonical text
+// form and are parsed (with caching) at each node, which keeps every
+// message gob-encodable for the TCP transport.
+type SubQueryMsg struct {
+	QID QueryID
+	// Group is the canonical simple predicate whose tree routes this
+	// sub-query; "*" selects the unpruned global tree for Attr.
+	Group string
+	// Eval is the full predicate each node evaluates locally; empty
+	// means "same as Group".
+	Eval string
+	// Attr is the query attribute to aggregate ("*" contributes 1 per
+	// node, enabling count(*)).
+	Attr string
+	// Spec is the aggregation function.
+	Spec aggregate.Spec
+	// ReplyTo receives the tree's aggregated ResponseMsg.
+	ReplyTo ids.ID
+}
+
+// MsgKind labels the message for accounting.
+func (SubQueryMsg) MsgKind() string { return "moara.query" }
+
+// QueryMsg disseminates a query down a group tree (or jumps across the
+// separate query plane).
+type QueryMsg struct {
+	QID     QueryID
+	Seq     uint64
+	Group   string
+	Eval    string
+	Attr    string
+	Spec    aggregate.Spec
+	Level   int
+	ReplyTo ids.ID
+	// Jump marks a separate-query-plane shortcut (§5): the receiver
+	// was reached by bypassing its tree parent, so it must NOT adopt
+	// the sender as its parent — status updates keep flowing along
+	// the tree while queries shortcut across it.
+	Jump bool
+}
+
+// MsgKind labels the message for accounting.
+func (QueryMsg) MsgKind() string { return "moara.query" }
+
+// ResponseMsg carries a subtree's partial aggregate back up the query
+// path. Np/Unknown piggyback the subtree's query-plane size for lazy
+// cost maintenance (§6.3).
+type ResponseMsg struct {
+	QID     QueryID
+	Group   string
+	State   aggregate.State
+	Dup     bool
+	Np      int
+	Unknown float64
+}
+
+// MsgKind labels the message for accounting.
+func (ResponseMsg) MsgKind() string { return "moara.resp" }
+
+// StatusMsg is the PRUNE / NO-PRUNE update of §4, extended with the
+// SQP updateSet of §5, the lazily maintained subtree cost (np), and the
+// last seen query sequence number used by bypassed ancestors to track
+// qn (§5, "Adaptation and SQP").
+type StatusMsg struct {
+	Group string
+	// Prune reports the child can be skipped for this group.
+	Prune bool
+	// UpdateSet lists the nodes the parent should forward queries to
+	// on this child's behalf (empty iff Prune).
+	UpdateSet []SetEntry
+	// Np is the child subtree's NO-PRUNE node count.
+	Np int
+	// Unknown is the child subtree's estimated population with no
+	// recorded state (cost estimation for cold regions).
+	Unknown float64
+	// LastSeq is the child's last observed query sequence number.
+	LastSeq uint64
+}
+
+// MsgKind labels the message for accounting.
+func (StatusMsg) MsgKind() string { return "moara.status" }
+
+// ProbeMsg asks a group tree's root for the current query cost; it is
+// routed via the overlay to the root (§6.3 "size probes").
+type ProbeMsg struct {
+	QID     QueryID
+	Group   string
+	Attr    string
+	ReplyTo ids.ID
+}
+
+// MsgKind labels the message for accounting.
+func (ProbeMsg) MsgKind() string { return "moara.probe" }
+
+// ProbeRespMsg answers a size probe with the estimated message cost of
+// querying the group (2·np, or a system-size-based estimate for cold
+// trees).
+type ProbeRespMsg struct {
+	QID   QueryID
+	Group string
+	Cost  float64
+}
+
+// MsgKind labels the message for accounting.
+func (ProbeRespMsg) MsgKind() string { return "moara.probe" }

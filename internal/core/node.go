@@ -1,0 +1,668 @@
+package core
+
+import (
+	"time"
+
+	"github.com/moara/moara/internal/aggregate"
+	"github.com/moara/moara/internal/attr"
+	"github.com/moara/moara/internal/ids"
+	"github.com/moara/moara/internal/pastry"
+	"github.com/moara/moara/internal/predicate"
+	"github.com/moara/moara/internal/simnet"
+	"github.com/moara/moara/internal/value"
+)
+
+// Node is one Moara participant: an overlay member, an attribute agent,
+// a group-tree maintainer, and (on demand) a query front-end.
+//
+// A Node is event-driven and not safe for concurrent use: all entry
+// points must run on one goroutine (the simulator loop, or the TCP
+// transport's per-node serializer).
+type Node struct {
+	env     simnet.Env
+	cfg     Config
+	overlay *pastry.Node
+	store   *attr.Store
+	self    ids.ID
+
+	preds  map[string]*predState
+	byAttr map[string][]string
+
+	execs    map[seenKey]*exec
+	seen     map[seenKey]time.Duration
+	answered map[QueryID]time.Duration
+
+	fe frontend
+
+	parseCache map[string]predicate.Expr
+	groupCache map[string]groupSpec
+
+	targetsGen   int
+	targetsCache map[int][]pastry.BroadcastTarget
+
+	qidCounter uint64
+	gcArmed    bool
+	closed     bool
+
+	// Fallback receives messages the node does not understand (used by
+	// the baseline packages to graft extra protocols onto a node).
+	Fallback func(from ids.ID, m any)
+}
+
+var _ simnet.Handler = (*Node)(nil)
+
+// NewNode creates a Moara node on env. The node's overlay must still be
+// bootstrapped (Join, BootstrapAlone, or an Oracle Fill).
+func NewNode(env simnet.Env, cfg Config, overlayCfg pastry.Config) *Node {
+	n := &Node{
+		env:          env,
+		cfg:          cfg.Defaults(),
+		store:        attr.NewStore(),
+		self:         env.Self(),
+		preds:        make(map[string]*predState),
+		byAttr:       make(map[string][]string),
+		execs:        make(map[seenKey]*exec),
+		seen:         make(map[seenKey]time.Duration),
+		answered:     make(map[QueryID]time.Duration),
+		parseCache:   make(map[string]predicate.Expr),
+		groupCache:   make(map[string]groupSpec),
+		targetsCache: make(map[int][]pastry.BroadcastTarget),
+		targetsGen:   -1,
+	}
+	n.overlay = pastry.New(env, overlayCfg)
+	n.overlay.Deliver = n.handleRouted
+	n.fe.init(n)
+	n.store.Subscribe(n.onAttrChange)
+	return n
+}
+
+// Overlay exposes the node's overlay layer (bootstrap, inspection).
+func (n *Node) Overlay() *pastry.Node { return n.overlay }
+
+// Env exposes the node's runtime environment; the baseline protocols
+// grafted onto a node (package baseline) send replies through it.
+func (n *Node) Env() simnet.Env { return n.env }
+
+// Store exposes the node's attribute store (the Moara agent writes
+// monitored values here).
+func (n *Node) Store() *attr.Store { return n.store }
+
+// Self returns the node's identifier.
+func (n *Node) Self() ids.ID { return n.self }
+
+// Config returns the node's configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// Close stops timers.
+func (n *Node) Close() {
+	n.closed = true
+	n.overlay.Close()
+}
+
+// Handle dispatches an incoming message (implements simnet.Handler).
+func (n *Node) Handle(from ids.ID, m any) {
+	if n.closed {
+		return
+	}
+	if n.overlay.Handle(from, m) {
+		return
+	}
+	switch msg := m.(type) {
+	case QueryMsg:
+		n.handleQuery(from, msg)
+	case ResponseMsg:
+		n.handleResponse(from, msg)
+	case StatusMsg:
+		n.handleStatus(from, msg)
+	case ProbeRespMsg:
+		n.fe.handleProbeResp(msg)
+	default:
+		if n.Fallback != nil {
+			n.Fallback(from, m)
+		}
+	}
+}
+
+// handleRouted receives payloads delivered by the overlay to this node
+// as the owner of their key.
+func (n *Node) handleRouted(_ ids.ID, payload any, _ ids.ID) {
+	switch msg := payload.(type) {
+	case SubQueryMsg:
+		n.handleSubQuery(msg)
+	case ProbeMsg:
+		n.handleProbe(msg)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Predicate state bookkeeping
+
+func (n *Node) groupSpecOf(canon string) (groupSpec, error) {
+	if g, ok := n.groupCache[canon]; ok {
+		return g, nil
+	}
+	g, err := parseGroupSpec(canon)
+	if err != nil {
+		return groupSpec{}, err
+	}
+	n.groupCache[canon] = g
+	return g, nil
+}
+
+func (n *Node) getPred(g groupSpec) *predState {
+	if ps, ok := n.preds[g.canon]; ok {
+		return ps
+	}
+	ps := newPredState(g)
+	ps.evalLocal(n.store)
+	n.preds[g.canon] = ps
+	if g.expr != nil {
+		for _, a := range predicate.Attrs(g.expr) {
+			n.byAttr[a] = append(n.byAttr[a], g.canon)
+		}
+	}
+	ps.touch(n.env.Now())
+	n.armGC()
+	return ps
+}
+
+func (n *Node) dropPred(canon string) {
+	ps, ok := n.preds[canon]
+	if !ok {
+		return
+	}
+	delete(n.preds, canon)
+	if ps.group.expr != nil {
+		for _, a := range predicate.Attrs(ps.group.expr) {
+			list := n.byAttr[a]
+			out := list[:0]
+			for _, c := range list {
+				if c != canon {
+					out = append(out, c)
+				}
+			}
+			if len(out) == 0 {
+				delete(n.byAttr, a)
+			} else {
+				n.byAttr[a] = out
+			}
+		}
+	}
+}
+
+// structural returns the broadcast-tree children for a node at level,
+// cached against the overlay generation.
+func (n *Node) structural(level int) []pastry.BroadcastTarget {
+	if level < 0 {
+		return nil
+	}
+	if g := n.overlay.Gen(); g != n.targetsGen {
+		n.targetsGen = g
+		clear(n.targetsCache)
+	}
+	if ts, ok := n.targetsCache[level]; ok {
+		return ts
+	}
+	ts := n.overlay.BroadcastTargets(level)
+	n.targetsCache[level] = ts
+	return ts
+}
+
+// regionEstimate approximates the population of an unreported child's
+// subtree: the system-size estimate divided by the ID-space fan-out at
+// the child's level, floored at one node.
+func (n *Node) regionEstimate(level int) float64 {
+	est := n.overlay.EstimateSize()
+	for i := 0; i < level && est > 1; i++ {
+		est /= ids.Radix
+	}
+	if est < 1 {
+		est = 1
+	}
+	return est
+}
+
+// recomputeState refreshes derived predicate state and reports whether
+// the observable part changed.
+func (n *Node) recomputeState(ps *predState) bool {
+	return ps.recompute(n.structural(ps.level), n.cfg.Threshold, n.self, n.regionEstimate)
+}
+
+// onAttrChange re-evaluates local satisfiability for every group that
+// references the changed attribute (the Moara agent hook of §3.1).
+func (n *Node) onAttrChange(name string, _, _ value.Value) {
+	canons := n.byAttr[name]
+	for _, canon := range canons {
+		ps, ok := n.preds[canon]
+		if !ok {
+			continue
+		}
+		if !ps.evalLocal(n.store) {
+			continue
+		}
+		n.onStateChange(ps)
+	}
+}
+
+// onStateChange runs the §4 pipeline after a local or child change:
+// recompute, record a churn event if observable state moved, re-run the
+// adaptation policy, and propagate status if warranted.
+func (n *Node) onStateChange(ps *predState) {
+	if n.cfg.Mode == ModeGlobal {
+		return
+	}
+	changed := n.recomputeState(ps)
+	if changed {
+		ps.recordEvent(evChange)
+	}
+	if ps.runPolicy(n.cfg.Mode, n.cfg.KUpdate, n.cfg.KNoUpdate) {
+		// The update flag flipped; np depends on it.
+		n.recomputeState(ps)
+	}
+	ps.touch(n.env.Now())
+	n.maybeSendStatus(ps)
+}
+
+// maybeSendStatus sends the parent a status update when the parent's
+// view of this node would otherwise be stale. NO-UPDATE nodes advertise
+// the constant (NO-PRUNE, {self}) view, so they naturally go silent.
+func (n *Node) maybeSendStatus(ps *predState) {
+	if !ps.hasParent || n.cfg.Mode == ModeGlobal {
+		return
+	}
+	prune, set := ps.wireView(n.self)
+	if ps.lastSentValid && prune == ps.lastSentPrune && equalEntries(set, ps.lastSentSet) {
+		return
+	}
+	if !ps.lastSentValid && !prune && len(set) == 1 && set[0].ID == n.self {
+		// The parent's default assumption already matches; nothing to say.
+		return
+	}
+	ps.lastSentValid = true
+	ps.lastSentPrune = prune
+	ps.lastSentSet = append([]SetEntry(nil), set...)
+	n.env.Send(ps.parent, StatusMsg{
+		Group:     ps.group.canon,
+		Prune:     prune,
+		UpdateSet: set,
+		Np:        ps.np,
+		Unknown:   ps.unknown,
+		LastSeq:   ps.lastSeq,
+	})
+}
+
+// handleStatus merges a child's PRUNE/NO-PRUNE + updateSet report (§4,
+// §5) and reacts to any resulting observable change.
+func (n *Node) handleStatus(from ids.ID, sm StatusMsg) {
+	g, err := n.groupSpecOf(sm.Group)
+	if err != nil {
+		return
+	}
+	ps := n.getPred(g)
+	ps.children[from] = &childState{
+		Prune:     sm.Prune,
+		UpdateSet: append([]SetEntry(nil), sm.UpdateSet...),
+		Np:        sm.Np,
+		Unknown:   sm.Unknown,
+	}
+	// Bypassed/pruned ancestors learn the system's query progress from
+	// child piggybacks (§5 "Adaptation and SQP").
+	ps.learnSeq(sm.LastSeq, n.self)
+	n.onStateChange(ps)
+}
+
+// ---------------------------------------------------------------------
+// Query dissemination and aggregation
+
+// exec tracks one in-flight query aggregation at this node.
+type exec struct {
+	qid     QueryID
+	group   string
+	attrKey string
+	spec    aggregate.Spec
+	replyTo ids.ID
+	state   aggregate.State
+	pending map[ids.ID]bool
+	cancel  func()
+}
+
+// handleSubQuery starts dissemination at the tree root.
+func (n *Node) handleSubQuery(sq SubQueryMsg) {
+	if _, dup := n.seen[seenKey{sq.QID, sq.Group}]; dup {
+		n.env.Send(sq.ReplyTo, ResponseMsg{QID: sq.QID, Group: sq.Group, Dup: true})
+		return
+	}
+	n.markSeen(sq.QID, sq.Group)
+	g, err := n.groupSpecOf(sq.Group)
+	if err != nil {
+		n.env.Send(sq.ReplyTo, ResponseMsg{QID: sq.QID, Group: sq.Group, Dup: true})
+		return
+	}
+	ps := n.getPred(g)
+	ps.level = 0
+	ps.hasParent = false
+	qm := QueryMsg{
+		QID:     sq.QID,
+		Seq:     ps.nextSeq(),
+		Group:   sq.Group,
+		Eval:    sq.Eval,
+		Attr:    sq.Attr,
+		Spec:    sq.Spec,
+		Level:   0,
+		ReplyTo: n.self,
+	}
+	if n.cfg.Mode != ModeGlobal {
+		n.recomputeState(ps)
+		ps.recordQueryEvent(n.self)
+		ps.runPolicy(n.cfg.Mode, n.cfg.KUpdate, n.cfg.KNoUpdate)
+		ps.touch(n.env.Now())
+	}
+	n.disseminate(ps, qm, sq.ReplyTo)
+}
+
+// handleQuery processes a query received from a tree parent or via an
+// SQP jump.
+func (n *Node) handleQuery(_ ids.ID, qm QueryMsg) {
+	if _, dup := n.seen[seenKey{qm.QID, qm.Group}]; dup {
+		n.env.Send(qm.ReplyTo, ResponseMsg{QID: qm.QID, Group: qm.Group, Dup: true})
+		return
+	}
+	n.markSeen(qm.QID, qm.Group)
+	g, err := n.groupSpecOf(qm.Group)
+	if err != nil {
+		n.env.Send(qm.ReplyTo, ResponseMsg{QID: qm.QID, Group: qm.Group, Dup: true})
+		return
+	}
+	if n.cfg.Mode == ModeGlobal {
+		n.disseminateGlobal(qm)
+		return
+	}
+	ps := n.getPred(g)
+	ps.touch(n.env.Now())
+	if ps.level < 0 || qm.Level < ps.level {
+		ps.level = qm.Level
+	}
+	if (!qm.Jump && (!ps.hasParent || ps.parent != qm.ReplyTo)) ||
+		(qm.Jump && !ps.hasParent) {
+		// New tree parent (first query, or §7 reconfiguration): it
+		// knows nothing about us yet. SQP jumps do NOT re-parent —
+		// the update plane stays on the tree while queries shortcut
+		// across it (§5) — but an orphan accepts any parent.
+		ps.parent = qm.ReplyTo
+		ps.hasParent = true
+		ps.lastSentValid = false
+	}
+	n.recomputeState(ps)
+	ps.observeSeq(qm.Seq, n.self)
+	ps.recordQueryEvent(n.self)
+	if ps.runPolicy(n.cfg.Mode, n.cfg.KUpdate, n.cfg.KNoUpdate) {
+		n.recomputeState(ps)
+	}
+	n.disseminate(ps, qm, qm.ReplyTo)
+	n.maybeSendStatus(ps)
+}
+
+// disseminate forwards the query to this node's current query targets
+// and aggregates their responses plus the local contribution.
+func (n *Node) disseminate(ps *predState, qm QueryMsg, replyTo ids.ID) {
+	var targets []SetEntry
+	if n.cfg.Mode == ModeGlobal {
+		for _, bt := range n.structural(qm.Level) {
+			targets = append(targets, SetEntry{ID: bt.ID, Level: bt.Level})
+		}
+	} else {
+		for _, e := range ps.qSet {
+			if e.ID != n.self {
+				targets = append(targets, e)
+			}
+		}
+	}
+	ex := &exec{
+		qid:     qm.QID,
+		group:   qm.Group,
+		attrKey: qm.Attr,
+		spec:    qm.Spec,
+		replyTo: replyTo,
+		state:   qm.Spec.New(),
+	}
+	if n.evalQuery(ps, qm) && n.claimAnswer(qm.QID) {
+		ex.state.Add(n.self, n.localValue(qm.Attr))
+	}
+	if len(targets) == 0 {
+		n.finishExec(ex)
+		return
+	}
+	ex.pending = make(map[ids.ID]bool, len(targets))
+	n.execs[seenKey{qm.QID, qm.Group}] = ex
+	fwd := qm
+	fwd.ReplyTo = n.self
+	for _, t := range targets {
+		ex.pending[t.ID] = true
+		fwd.Level = t.Level
+		fwd.Jump = t.Jump
+		n.env.Send(t.ID, fwd)
+	}
+	key := seenKey{qm.QID, qm.Group}
+	ex.cancel = n.env.After(n.cfg.ChildTimeout, func() { n.execTimeout(key) })
+}
+
+// disseminateGlobal is the stateless Global baseline: forward down the
+// full broadcast tree, no group state anywhere.
+func (n *Node) disseminateGlobal(qm QueryMsg) {
+	ex := &exec{
+		qid:     qm.QID,
+		group:   qm.Group,
+		attrKey: qm.Attr,
+		spec:    qm.Spec,
+		replyTo: qm.ReplyTo,
+		state:   qm.Spec.New(),
+	}
+	if n.evalGlobal(qm) && n.claimAnswer(qm.QID) {
+		ex.state.Add(n.self, n.localValue(qm.Attr))
+	}
+	targets := n.structural(qm.Level)
+	if len(targets) == 0 {
+		n.finishExec(ex)
+		return
+	}
+	ex.pending = make(map[ids.ID]bool, len(targets))
+	n.execs[seenKey{qm.QID, qm.Group}] = ex
+	fwd := qm
+	fwd.ReplyTo = n.self
+	for _, t := range targets {
+		ex.pending[t.ID] = true
+		fwd.Level = t.Level
+		n.env.Send(t.ID, fwd)
+	}
+	key := seenKey{qm.QID, qm.Group}
+	ex.cancel = n.env.After(n.cfg.ChildTimeout, func() { n.execTimeout(key) })
+}
+
+// evalQuery evaluates the query's full predicate locally.
+func (n *Node) evalQuery(ps *predState, qm QueryMsg) bool {
+	if qm.Eval == "" {
+		return ps.satLocal
+	}
+	e, err := n.parseCached(qm.Eval)
+	if err != nil {
+		return false
+	}
+	return e.Eval(n.store)
+}
+
+func (n *Node) evalGlobal(qm QueryMsg) bool {
+	eval := qm.Eval
+	if eval == "" {
+		eval = qm.Group
+	}
+	if eval == "" || eval[0] == '*' {
+		return true
+	}
+	e, err := n.parseCached(eval)
+	if err != nil {
+		return false
+	}
+	return e.Eval(n.store)
+}
+
+func (n *Node) parseCached(s string) (predicate.Expr, error) {
+	if e, ok := n.parseCache[s]; ok {
+		return e, nil
+	}
+	e, err := predicate.ParseExpr(s)
+	if err != nil {
+		return nil, err
+	}
+	n.parseCache[s] = e
+	return e, nil
+}
+
+// localValue produces this node's contribution for the query attribute;
+// "*" contributes 1, enabling count(*).
+func (n *Node) localValue(attrName string) value.Value {
+	if attrName == "*" {
+		return value.Int(1)
+	}
+	return n.store.Get(attrName)
+}
+
+// handleResponse merges a child's partial aggregate.
+func (n *Node) handleResponse(from ids.ID, rm ResponseMsg) {
+	ex, ok := n.execs[seenKey{rm.QID, rm.Group}]
+	if !ok || !ex.pending[from] {
+		n.fe.handleQueryResp(from, rm)
+		return
+	}
+	delete(ex.pending, from)
+	if !rm.Dup && rm.State != nil {
+		_ = ex.state.Merge(rm.State)
+	}
+	// Refresh the child's lazily maintained subtree cost (§6.3): np
+	// piggybacks on every query response, reaching ancestors even from
+	// children that never send status updates (NO-UPDATE).
+	if !rm.Dup {
+		if ps, psOK := n.preds[ex.group]; psOK {
+			switch cs := ps.children[from]; {
+			case cs == nil:
+				ps.children[from] = &childState{NpOnly: true, Np: rm.Np, Unknown: rm.Unknown}
+			case cs.NpOnly || !cs.Prune:
+				cs.Np, cs.Unknown = rm.Np, rm.Unknown
+			}
+			n.recomputeState(ps)
+		}
+	}
+	if len(ex.pending) == 0 {
+		if ex.cancel != nil {
+			ex.cancel()
+		}
+		n.finishExec(ex)
+	}
+}
+
+// execTimeout finalizes an aggregation that is still missing children
+// (§7: queries complete independent of failure-detection timeouts).
+func (n *Node) execTimeout(key seenKey) {
+	ex, ok := n.execs[key]
+	if !ok {
+		return
+	}
+	n.finishExec(ex)
+}
+
+func (n *Node) finishExec(ex *exec) {
+	delete(n.execs, seenKey{ex.qid, ex.group})
+	np, unknown := 0, 0.0
+	if ps, ok := n.preds[ex.group]; ok {
+		np, unknown = ps.np, ps.unknown
+	}
+	n.env.Send(ex.replyTo, ResponseMsg{
+		QID:     ex.qid,
+		Group:   ex.group,
+		State:   ex.state,
+		Np:      np,
+		Unknown: unknown,
+	})
+}
+
+// handleProbe answers a §6.3 size probe with the group's current query
+// cost: 2·np for warm trees, a system-size estimate for cold ones.
+func (n *Node) handleProbe(pm ProbeMsg) {
+	cost := 0.0
+	ps, ok := n.preds[pm.Group]
+	switch {
+	case n.cfg.Mode == ModeGlobal || !ok:
+		cost = 2 * n.overlay.EstimateSize()
+	default:
+		cost = 2 * (float64(ps.np) + ps.unknown)
+	}
+	n.env.Send(pm.ReplyTo, ProbeRespMsg{QID: pm.QID, Group: pm.Group, Cost: cost})
+}
+
+// ---------------------------------------------------------------------
+// Housekeeping
+
+func (n *Node) markSeen(qid QueryID, group string) {
+	n.seen[seenKey{qid, group}] = n.env.Now()
+	n.armGC()
+}
+
+// claimAnswer reserves the right to contribute this node's local value
+// to the query: a node present in several trees of a composite cover
+// answers exactly once (§6.2).
+func (n *Node) claimAnswer(qid QueryID) bool {
+	if _, done := n.answered[qid]; done {
+		return false
+	}
+	n.answered[qid] = n.env.Now()
+	return true
+}
+
+// armGC schedules the periodic sweep that expires answered-query IDs
+// (§6.2's 5-minute cache) and garbage-collects idle NO-UPDATE state
+// (§4 "State Maintenance").
+func (n *Node) armGC() {
+	if n.gcArmed || n.closed {
+		return
+	}
+	period := n.cfg.SeenTTL / 2
+	if n.cfg.StateTTL > 0 && n.cfg.StateTTL/2 < period {
+		period = n.cfg.StateTTL / 2
+	}
+	if period <= 0 {
+		period = time.Minute
+	}
+	n.gcArmed = true
+	n.env.After(period, func() {
+		n.gcArmed = false
+		n.sweep()
+		// Re-arm only while something remains collectible: seen/answered
+		// entries always expire; predicate state only when StateTTL is
+		// set (otherwise an idle node would tick forever).
+		if len(n.seen) > 0 || len(n.answered) > 0 ||
+			(n.cfg.StateTTL > 0 && len(n.preds) > 0) {
+			n.armGC()
+		}
+	})
+}
+
+func (n *Node) sweep() {
+	now := n.env.Now()
+	for k, at := range n.seen {
+		if now-at > n.cfg.SeenTTL {
+			delete(n.seen, k)
+		}
+	}
+	for qid, at := range n.answered {
+		if now-at > n.cfg.SeenTTL {
+			delete(n.answered, qid)
+		}
+	}
+	if n.cfg.StateTTL <= 0 {
+		return
+	}
+	for canon, ps := range n.preds {
+		if !ps.update && now-ps.lastActive > n.cfg.StateTTL {
+			n.dropPred(canon)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/moara/moara/internal/aggregate"
+	"github.com/moara/moara/internal/predicate"
+)
+
+// parseRequestText parses the front-end query language:
+//
+//	[select] <agg>(<attr>) [where <predicate>]
+//
+// Examples:
+//
+//	count(*) where service_x = true
+//	select max(cpu_usage) where service_x = true and apache = true
+//	avg(mem_util)
+//	top3(load) where (service_x = true) and (apache = true)
+func parseRequestText(s string) (Request, error) {
+	text := strings.TrimSpace(s)
+	if text == "" {
+		return Request{}, fmt.Errorf("core: empty query")
+	}
+	lower := strings.ToLower(text)
+	if strings.HasPrefix(lower, "select") && (len(text) == 6 || text[6] == ' ' || text[6] == '\t') {
+		text = strings.TrimSpace(text[6:])
+		lower = strings.ToLower(text)
+	}
+
+	open := strings.IndexByte(text, '(')
+	if open < 0 {
+		return Request{}, fmt.Errorf("core: expected <agg>(<attr>) in %q", s)
+	}
+	closeIdx := strings.IndexByte(text[open:], ')')
+	if closeIdx < 0 {
+		return Request{}, fmt.Errorf("core: missing ')' in %q", s)
+	}
+	closeIdx += open
+
+	spec, err := aggregate.ParseSpec(strings.TrimSpace(text[:open]))
+	if err != nil {
+		return Request{}, err
+	}
+	attrName := strings.TrimSpace(text[open+1 : closeIdx])
+	if attrName == "" {
+		return Request{}, fmt.Errorf("core: empty attribute in %q", s)
+	}
+
+	rest := strings.TrimSpace(text[closeIdx+1:])
+	var pred predicate.Expr
+	if rest != "" {
+		lowRest := strings.ToLower(rest)
+		if !strings.HasPrefix(lowRest, "where") {
+			return Request{}, fmt.Errorf("core: expected 'where', got %q", rest)
+		}
+		predText := strings.TrimSpace(rest[len("where"):])
+		if predText == "" {
+			return Request{}, fmt.Errorf("core: empty predicate in %q", s)
+		}
+		pred, err = predicate.ParseExpr(predText)
+		if err != nil {
+			return Request{}, err
+		}
+	}
+	return Request{Attr: attrName, Spec: spec, Pred: pred}, nil
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/moara/moara/internal/aggregate"
+)
+
+func TestParseRequestForms(t *testing.T) {
+	tests := []struct {
+		in       string
+		wantAttr string
+		wantKind aggregate.Kind
+		wantK    int
+		wantPred bool
+	}{
+		{"avg(mem_util)", "mem_util", aggregate.KindAvg, 0, false},
+		{"select avg(mem_util)", "mem_util", aggregate.KindAvg, 0, false},
+		{"count(*) where apache = true", "*", aggregate.KindCount, 0, true},
+		{"SELECT MAX(cpu) WHERE x = 1 and y = 2", "cpu", aggregate.KindMax, 0, true},
+		{"top3(load) where slice = s1", "load", aggregate.KindTopK, 3, true},
+		{"sum( a ) where b < 2.5", "a", aggregate.KindSum, 0, true},
+		{"enum(hostname) where dc = east", "hostname", aggregate.KindEnum, 0, true},
+	}
+	for _, tc := range tests {
+		req, err := parseRequestText(tc.in)
+		if err != nil {
+			t.Errorf("parse %q: %v", tc.in, err)
+			continue
+		}
+		if req.Attr != tc.wantAttr {
+			t.Errorf("%q: attr = %q, want %q", tc.in, req.Attr, tc.wantAttr)
+		}
+		if req.Spec.Kind != tc.wantKind || req.Spec.K != tc.wantK {
+			t.Errorf("%q: spec = %v", tc.in, req.Spec)
+		}
+		if (req.Pred != nil) != tc.wantPred {
+			t.Errorf("%q: pred present = %v, want %v", tc.in, req.Pred != nil, tc.wantPred)
+		}
+	}
+}
+
+func TestParseRequestErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"avg",
+		"avg(",
+		"avg()",
+		"bogus(x)",
+		"avg(x) whence y = 1",
+		"avg(x) where",
+		"avg(x) where y ~ 1",
+		"selectavg(x)",
+	}
+	for _, in := range bad {
+		if _, err := parseRequestText(in); err == nil {
+			t.Errorf("parse %q should fail", in)
+		}
+	}
+}
+
+func TestParseRequestSelectPrefixIsWordBounded(t *testing.T) {
+	// "selector(x)" must not be treated as "select or(x)".
+	if _, err := parseRequestText("selector(x)"); err == nil {
+		t.Error("selector(x) should fail to parse")
+	}
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/moara/moara/internal/predicate"
+)
+
+func mustPlan(t *testing.T, predText, attr string) queryPlan {
+	t.Helper()
+	var pred predicate.Expr
+	if predText != "" {
+		pred = predicate.MustParse(predText)
+	}
+	return buildPlan(attr, pred, 0)
+}
+
+func coverSet(p queryPlan) []string {
+	out := make([]string, 0, len(p.covers))
+	for _, c := range p.covers {
+		keys := make([]string, len(c))
+		for i, g := range c {
+			keys[i] = g.canon
+		}
+		sort.Strings(keys)
+		out = append(out, strings.Join(keys, "+"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestPlanGlobal(t *testing.T) {
+	p := mustPlan(t, "", "cpu")
+	if len(p.covers) != 1 || len(p.covers[0]) != 1 || p.covers[0][0].expr != nil {
+		t.Fatalf("global plan: %v", coverSet(p))
+	}
+	if !p.singleTrivialCover() {
+		t.Fatal("global plan should skip probing")
+	}
+}
+
+func TestPlanSimple(t *testing.T) {
+	p := mustPlan(t, "x = true", "cpu")
+	if got := coverSet(p); len(got) != 1 || got[0] != "x = true" {
+		t.Fatalf("simple plan: %v", got)
+	}
+}
+
+// TestPlanIntersection mirrors §6.2: each conjunct is a candidate
+// cover; the probe phase picks the cheaper one.
+func TestPlanIntersection(t *testing.T) {
+	p := mustPlan(t, "x = true and y = true", "cpu")
+	got := coverSet(p)
+	want := []string{"x = true", "y = true"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("intersection covers: %v", got)
+	}
+}
+
+// TestPlanUnion: a disjunction is a single cover containing all groups.
+func TestPlanUnion(t *testing.T) {
+	p := mustPlan(t, "x = true or y = true", "cpu")
+	got := coverSet(p)
+	if len(got) != 1 || got[0] != "x = true+y = true" {
+		t.Fatalf("union covers: %v", got)
+	}
+}
+
+// TestPlanFig6 replays the paper's Fig. 6 example: ((A or B) and
+// (A or C)) or D rewrites to CNF (A or B or D) and (A or C or D),
+// giving two covers.
+func TestPlanFig6(t *testing.T) {
+	p := mustPlan(t, "((a = 1 or b = 1) and (a = 1 or c = 1)) or d = 1", "cpu")
+	got := coverSet(p)
+	want := []string{"a = 1+b = 1+d = 1", "a = 1+c = 1+d = 1"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Fig. 6 covers: %v, want %v", got, want)
+	}
+}
+
+// TestPlanDisjointShortCircuit: (A and B) with A ∩ B = ∅ resolves to
+// the empty result without touching the network (Fig. 7 row 1).
+func TestPlanDisjointShortCircuit(t *testing.T) {
+	p := mustPlan(t, "cpu < 10 and cpu > 90", "mem")
+	if !p.empty {
+		t.Fatalf("disjoint intersection should be empty, covers %v", coverSet(p))
+	}
+}
+
+// TestPlanSubsetReduction: within an OR-clause a subset term is
+// dropped (Fig. 7 rows 3-4).
+func TestPlanSubsetReduction(t *testing.T) {
+	p := mustPlan(t, "cpu < 20 or cpu < 50", "mem")
+	got := coverSet(p)
+	if len(got) != 1 || got[0] != "cpu < 50" {
+		t.Fatalf("subset reduction: %v", got)
+	}
+}
+
+// TestPlanEquivalenceDedup: equal groups collapse (Fig. 7 row 2).
+func TestPlanEquivalenceDedup(t *testing.T) {
+	p := mustPlan(t, "cpu < 50 or cpu < 50", "mem")
+	got := coverSet(p)
+	if len(got) != 1 || got[0] != "cpu < 50" {
+		t.Fatalf("equivalence dedup: %v", got)
+	}
+}
+
+// TestPlanComplementClauseIsUniverse: (A or not-A) covers everything,
+// so the cover degenerates to the global pseudo-group.
+func TestPlanComplementClauseIsUniverse(t *testing.T) {
+	p := mustPlan(t, "(cpu < 50 or cpu >= 50) and mem = 1", "disk")
+	got := coverSet(p)
+	// Two covers: the universal clause (global tree) and {mem = 1}; the
+	// probe phase will choose {mem = 1} as cheaper in practice.
+	found := false
+	for _, c := range got {
+		if strings.HasPrefix(c, globalGroupPrefix) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("universal clause should produce a global cover: %v", got)
+	}
+}
+
+// TestPlanNotRules exercises the implicit-not optimizations of §6.3:
+// (A or C) and B with C = not B reduces C away.
+func TestPlanNotRules(t *testing.T) {
+	p := mustPlan(t, "(a = 1 or cpu >= 50) and cpu < 50", "mem")
+	got := coverSet(p)
+	want := []string{"a = 1", "cpu < 50"}
+	sort.Strings(want)
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("not-rule covers: %v, want %v", got, want)
+	}
+}
+
+// TestPlanFallbackOnCNFBlowup: pathological predicates fall back to
+// querying every mentioned group (still a sound cover).
+func TestPlanFallbackOnCNFBlowup(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 14; i++ {
+		if i > 0 {
+			sb.WriteString(" or ")
+		}
+		sb.WriteString("(a = 1 and b = 2)")
+	}
+	// Build a genuinely exploding or-of-ands with distinct attrs.
+	terms := make([]string, 0, 14)
+	for i := 0; i < 14; i++ {
+		terms = append(terms, "(x"+string(rune('a'+i))+" = 1 and y"+string(rune('a'+i))+" = 1)")
+	}
+	pred := strings.Join(terms, " or ")
+	p := buildPlan("cpu", predicate.MustParse(pred), 64)
+	if !p.fellBack {
+		t.Fatalf("expected CNF fallback, covers=%d", len(p.covers))
+	}
+	if len(p.covers) != 1 || len(p.covers[0]) != 28 {
+		t.Fatalf("fallback should query all 28 groups, got %v", coverSet(p))
+	}
+}
+
+// TestPlanEvalCanonReparses: the evaluation predicate shipped to nodes
+// must parse back.
+func TestPlanEvalCanonReparses(t *testing.T) {
+	p := mustPlan(t, "(a = 1 or b = 2) and c != 3", "cpu")
+	if p.evalCanon == "" {
+		t.Fatal("composite plan needs an eval predicate")
+	}
+	if _, err := predicate.ParseExpr(p.evalCanon); err != nil {
+		t.Fatalf("eval canon %q does not reparse: %v", p.evalCanon, err)
+	}
+}

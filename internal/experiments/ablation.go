@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/moara/moara/internal/cluster"
+	"github.com/moara/moara/internal/core"
+	"github.com/moara/moara/internal/metrics"
+)
+
+// AblationOptions parameterize the cover-selection ablation: an
+// asymmetric intersection (small group ∩ large group) where picking
+// the right cover matters.
+type AblationOptions struct {
+	N       int
+	Small   int // small group size
+	Large   int // large group size
+	Queries int
+	Seed    int64
+}
+
+// Defaults fills reasonable parameters.
+func (o AblationOptions) Defaults() AblationOptions {
+	if o.N == 0 {
+		o.N = 500
+	}
+	if o.Small == 0 {
+		o.Small = 10
+	}
+	if o.Large == 0 {
+		o.Large = 400
+	}
+	if o.Queries == 0 {
+		o.Queries = 100
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// RunAblationCoverSelection quantifies §6.3's design choice: for the
+// intersection query (small ∩ large), compare Moara's probe-driven
+// cover selection against (a) always querying the first-listed group
+// and (b) naively querying both groups. Reported as messages and
+// latency per query.
+func RunAblationCoverSelection(opt AblationOptions) *Table {
+	opt = opt.Defaults()
+	t := &Table{
+		Title: "Ablation: composite cover selection (§6.3)",
+		Note: fmt.Sprintf("N=%d, small=%d, large=%d, %d queries of large∩small; per query",
+			opt.N, opt.Small, opt.Large, opt.Queries),
+		Columns: []string{"strategy", "msgs_per_query", "latency_ms"},
+	}
+
+	type strategy struct {
+		label  string
+		policy core.CoverPolicy
+	}
+	run := func(s strategy) (float64, time.Duration) {
+		c := cluster.New(emulabOptions(opt.N, opt.Seed, core.Config{Covers: s.policy}))
+		rng := rand.New(rand.NewSource(opt.Seed + 59))
+		perm := rng.Perm(opt.N)
+		small := make(map[int]bool, opt.Small)
+		for _, i := range perm[:opt.Small] {
+			small[i] = true
+		}
+		large := make(map[int]bool, opt.Large)
+		for _, i := range perm[:opt.Large] { // superset of small
+			large[i] = true
+		}
+		for i, nd := range c.Nodes {
+			nd.Store().SetBool("small", small[i])
+			nd.Store().SetBool("large", large[i])
+		}
+		req, err := core.ParseRequest("count(*) where small = true and large = true")
+		if err != nil {
+			panic(err)
+		}
+		// Warm both group trees individually (the paper's methodology:
+		// every group is queried repeatedly), so size probes price them
+		// from real np counts rather than cold-tree estimates.
+		for _, wq := range []string{
+			"count(*) where small = true",
+			"count(*) where large = true",
+		} {
+			wreq, err := core.ParseRequest(wq)
+			if err != nil {
+				panic(err)
+			}
+			for w := 0; w < 2; w++ {
+				if _, err := c.Execute(0, wreq); err != nil {
+					panic(err)
+				}
+			}
+		}
+		if _, err := c.Execute(0, req); err != nil {
+			panic(err)
+		}
+		c.RunFor(2 * time.Second)
+		c.Net.ResetCounter()
+		rec := metrics.NewRecorder(opt.Queries)
+		for q := 0; q < opt.Queries; q++ {
+			res, err := c.Execute(0, req)
+			if err != nil {
+				panic(err)
+			}
+			if got, _ := res.Agg.Value.AsInt(); got != int64(opt.Small) {
+				panic(fmt.Sprintf("ablation %s: got %d want %d", s.label, got, opt.Small))
+			}
+			rec.Add(res.Stats.TotalTime)
+		}
+		return float64(c.MoaraMessages()) / float64(opt.Queries), rec.Mean()
+	}
+
+	for _, s := range []strategy{
+		// Moara: probes price both covers, picks the small group.
+		{label: "moara (probe-selected cover)", policy: core.CoverCheapest},
+		// A planner without cover selection queries every group.
+		{label: "naive (query both groups)", policy: core.CoverAll},
+		// Worst single cover: the large group.
+		{label: "wrong cover (large group)", policy: core.CoverDearest},
+	} {
+		msgs, lat := run(s)
+		t.AddRow(s.label, f1(msgs), metrics.FormatMs(lat))
+	}
+	return t
+}

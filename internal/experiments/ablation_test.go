@@ -1,0 +1,32 @@
+package experiments
+
+import "testing"
+
+// TestAblationCoverSelection verifies §6.3's design payoff: the
+// probe-selected cover (the 10-node group) costs far less than naively
+// querying both groups or picking the large group.
+func TestAblationCoverSelection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster sweep")
+	}
+	tab := RunAblationCoverSelection(AblationOptions{
+		N: 250, Small: 8, Large: 200, Queries: 30, Seed: 3,
+	})
+	vals := map[string]float64{}
+	for _, row := range tab.Rows {
+		vals[row[0]] = parseF(t, row[1])
+		t.Log(row)
+	}
+	moara := vals["moara (probe-selected cover)"]
+	naive := vals["naive (query both groups)"]
+	wrong := vals["wrong cover (large group)"]
+	if moara <= 0 || naive <= 0 || wrong <= 0 {
+		t.Fatalf("missing rows: %v", vals)
+	}
+	if naive < 2*moara {
+		t.Errorf("querying both groups (%v) should cost >2x the selected cover (%v)", naive, moara)
+	}
+	if wrong < 2*moara {
+		t.Errorf("the wrong cover (%v) should cost >2x the selected cover (%v)", wrong, moara)
+	}
+}

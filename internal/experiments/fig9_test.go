@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestFig9Shape runs a scaled-down Fig. 9 and asserts the paper's
+// qualitative claims: Global grows with query rate, Always-Update grows
+// with churn rate, and adaptive Moara roughly tracks the lower envelope
+// of the two at both extremes.
+func TestFig9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-cluster workload sweep")
+	}
+	tab := RunFig9(Fig9Options{N: 600, Events: 60, Burst: 120, Steps: 3, Seed: 5})
+	get := func(row, col int) float64 {
+		v, err := strconv.ParseFloat(tab.Rows[row][col], 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", tab.Rows[row][col], err)
+		}
+		return v
+	}
+	// Columns: ratio, Global, Always-Update, Moara.
+	const global, au, moara = 1, 2, 3
+	rows := len(tab.Rows)
+	churnOnly, queryOnly := 0, rows-1
+
+	if g0, gN := get(churnOnly, global), get(queryOnly, global); g0 >= gN {
+		t.Errorf("Global should grow with query rate: %v -> %v", g0, gN)
+	}
+	if g0 := get(churnOnly, global); g0 != 0 {
+		t.Errorf("Global pays nothing for churn, got %v", g0)
+	}
+	// At pure churn, Moara suppresses updates: far below Always-Update.
+	if m, a := get(churnOnly, moara), get(churnOnly, au); m > a/4 {
+		t.Errorf("at 0:churn Moara=%v should be well below Always-Update=%v", m, a)
+	}
+	// At pure queries, Moara prunes trees: well below Global.
+	if m, g := get(queryOnly, moara), get(queryOnly, global); m > 0.8*g {
+		t.Errorf("at queries:0 Moara=%v should beat Global=%v", m, g)
+	}
+	// The paper's headline: Moara meets or lowers the overhead of both
+	// extremes at every ratio (15% + 1 msg tolerance for adaptation).
+	for r := 0; r < rows; r++ {
+		min := get(r, global)
+		if a := get(r, au); a < min {
+			min = a
+		}
+		if m := get(r, moara); m > 1.15*min+1 {
+			t.Errorf("row %s: Moara=%v above min(Global,AU)=%v", tab.Rows[r][0], m, min)
+		}
+	}
+	for _, row := range tab.Rows {
+		t.Log(row)
+	}
+}

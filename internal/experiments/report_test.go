@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := &Table{
+		Title:   "Fig. X: sample",
+		Note:    "a note",
+		Columns: []string{"col", "value_ms"},
+	}
+	t.AddRow("alpha", "1.5")
+	t.AddRow("beta-long", "23.0")
+	return t
+}
+
+func TestTableFprintAligns(t *testing.T) {
+	var buf bytes.Buffer
+	sampleTable().Fprint(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "== Fig. X: sample ==") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "a note") {
+		t.Fatalf("missing note:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header and rows must align on the value column.
+	var headerIdx, rowIdx int
+	for i, l := range lines {
+		if strings.HasPrefix(l, "col") {
+			headerIdx = i
+		}
+		if strings.HasPrefix(l, "beta-long") {
+			rowIdx = i
+		}
+	}
+	hPos := strings.Index(lines[headerIdx], "value_ms")
+	rPos := strings.Index(lines[rowIdx], "23.0")
+	if hPos != rPos {
+		t.Fatalf("columns misaligned: header at %d, row at %d\n%s", hPos, rPos, out)
+	}
+}
+
+func TestTableTSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "col\tvalue_ms\nalpha\t1.5\nbeta-long\t23.0\n"
+	if buf.String() != want {
+		t.Fatalf("tsv = %q, want %q", buf.String(), want)
+	}
+}

@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func fill(r *Recorder, ms ...int) {
+	for _, m := range ms {
+		r.Add(time.Duration(m) * time.Millisecond)
+	}
+}
+
+func TestRecorderStats(t *testing.T) {
+	r := NewRecorder(8)
+	fill(r, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
+	if r.Len() != 10 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	if got := r.Mean(); got != 55*time.Millisecond {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := r.Median(); got != 50*time.Millisecond {
+		t.Fatalf("median = %v", got)
+	}
+	if got := r.Percentile(90); got != 90*time.Millisecond {
+		t.Fatalf("p90 = %v", got)
+	}
+	if got := r.Percentile(100); got != 100*time.Millisecond {
+		t.Fatalf("p100 = %v", got)
+	}
+	if r.Min() != 10*time.Millisecond || r.Max() != 100*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", r.Min(), r.Max())
+	}
+}
+
+func TestRecorderEmpty(t *testing.T) {
+	r := NewRecorder(0)
+	if r.Mean() != 0 || r.Median() != 0 || r.Max() != 0 || r.Min() != 0 {
+		t.Fatal("empty recorder should return zeros")
+	}
+	if cdf := r.CDF(10); cdf != nil {
+		t.Fatal("empty CDF should be nil")
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	r := NewRecorder(100)
+	for i := 100; i >= 1; i-- {
+		r.Add(time.Duration(i) * time.Millisecond)
+	}
+	cdf := r.CDF(20)
+	if len(cdf) != 20 {
+		t.Fatalf("points = %d", len(cdf))
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].Latency < cdf[i-1].Latency || cdf[i].Fraction <= cdf[i-1].Fraction {
+			t.Fatalf("CDF not monotone at %d: %+v", i, cdf[i])
+		}
+	}
+	if cdf[len(cdf)-1].Fraction != 1 {
+		t.Fatalf("last fraction = %v", cdf[len(cdf)-1].Fraction)
+	}
+}
+
+func TestFormatMs(t *testing.T) {
+	if got := FormatMs(1500 * time.Microsecond); got != "1.5" {
+		t.Fatalf("FormatMs = %q", got)
+	}
+	if got := Ms(2 * time.Second); got != 2000 {
+		t.Fatalf("Ms = %v", got)
+	}
+}
+
+func TestAddAfterSortKeepsOrder(t *testing.T) {
+	r := NewRecorder(4)
+	fill(r, 30, 10)
+	_ = r.Median() // forces sort
+	fill(r, 20)
+	if got := r.Median(); got != 20*time.Millisecond {
+		t.Fatalf("median after resort = %v", got)
+	}
+	s := r.Samples()
+	if len(s) != 3 {
+		t.Fatalf("samples = %v", s)
+	}
+}

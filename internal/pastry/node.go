@@ -1,0 +1,478 @@
+package pastry
+
+import (
+	"time"
+
+	"github.com/moara/moara/internal/ids"
+	"github.com/moara/moara/internal/simnet"
+)
+
+// Config tunes an overlay node.
+type Config struct {
+	// LeafSetSize is the number of leaf-set entries kept per side
+	// (default 8).
+	LeafSetSize int
+	// HeartbeatEvery enables leaf-set liveness probing when > 0.
+	// Large-scale simulations leave it disabled, mirroring the paper's
+	// exclusion of DHT maintenance traffic.
+	HeartbeatEvery time.Duration
+	// HeartbeatMiss is the number of consecutive missed heartbeats
+	// after which a neighbor is declared dead (default 3).
+	HeartbeatMiss int
+}
+
+func (c Config) withDefaults() Config {
+	if c.LeafSetSize == 0 {
+		c.LeafSetSize = 8
+	}
+	if c.HeartbeatMiss == 0 {
+		c.HeartbeatMiss = 3
+	}
+	return c
+}
+
+// DeliverFunc receives payloads routed to this node as the key's owner.
+type DeliverFunc func(key ids.ID, payload any, origin ids.ID)
+
+// Node is one overlay participant. It is not safe for concurrent use;
+// drive it from a single goroutine (the simulator loop or a per-node
+// serialization layer).
+type Node struct {
+	env  simnet.Env
+	cfg  Config
+	self ids.ID
+
+	rt   RoutingTable
+	leaf *LeafSet
+
+	// Deliver is invoked when a routed payload reaches its key's owner.
+	Deliver DeliverFunc
+	// OnNeighborDead is invoked when a neighbor is declared failed.
+	OnNeighborDead func(dead ids.ID)
+
+	hbMisses    map[ids.ID]int
+	stopHB      func()
+	joined      bool
+	joinPending []pendingRoute
+	gen         int
+	// dead holds death certificates: recently failed nodes that must
+	// not be re-learned from stale gossip.
+	dead map[ids.ID]time.Duration
+	// announced tracks which peers this node has introduced itself to,
+	// so discovery gossip converges instead of looping.
+	announced map[ids.ID]bool
+}
+
+type pendingRoute struct {
+	key     ids.ID
+	payload any
+	origin  ids.ID
+}
+
+// New creates an overlay node bound to env.
+func New(env simnet.Env, cfg Config) *Node {
+	cfg = cfg.withDefaults()
+	n := &Node{
+		env:       env,
+		cfg:       cfg,
+		self:      env.Self(),
+		leaf:      NewLeafSet(env.Self(), cfg.LeafSetSize),
+		hbMisses:  make(map[ids.ID]int),
+		dead:      make(map[ids.ID]time.Duration),
+		announced: make(map[ids.ID]bool),
+	}
+	return n
+}
+
+// Self returns the node's identifier.
+func (n *Node) Self() ids.ID { return n.self }
+
+// Leaf exposes the leaf set (read-only use).
+func (n *Node) Leaf() *LeafSet { return n.leaf }
+
+// Table exposes the routing table (read-only use).
+func (n *Node) Table() *RoutingTable { return &n.rt }
+
+// Joined reports whether the node has completed bootstrap.
+func (n *Node) Joined() bool { return n.joined }
+
+// BootstrapAlone marks the node as the first member of a new overlay.
+func (n *Node) BootstrapAlone() {
+	n.joined = true
+	n.startHeartbeats()
+}
+
+// Close stops background timers.
+func (n *Node) Close() {
+	if n.stopHB != nil {
+		n.stopHB()
+		n.stopHB = nil
+	}
+}
+
+// ---------------------------------------------------------------------
+// Messages
+
+// RouteMsg carries an application payload toward the owner of Key.
+type RouteMsg struct {
+	Key     ids.ID
+	Origin  ids.ID
+	Payload any
+	Hops    int
+}
+
+// MsgKind labels the message for accounting.
+func (RouteMsg) MsgKind() string { return "overlay.route" }
+
+// JoinRequest is routed toward the joiner's ID, accumulating routing
+// rows from every hop.
+type JoinRequest struct {
+	Joiner ids.ID
+	Rows   []ids.ID // flattened candidate entries collected en route
+	Hops   int
+}
+
+// MsgKind labels the message for accounting.
+func (JoinRequest) MsgKind() string { return "overlay.join" }
+
+// JoinReply returns accumulated state to the joiner.
+type JoinReply struct {
+	Rows []ids.ID
+	Leaf []ids.ID
+}
+
+// MsgKind labels the message for accounting.
+func (JoinReply) MsgKind() string { return "overlay.join" }
+
+// Announce tells existing nodes about a newly joined node.
+type Announce struct {
+	ID ids.ID
+}
+
+// MsgKind labels the message for accounting.
+func (Announce) MsgKind() string { return "overlay.announce" }
+
+// AnnounceAck shares the receiver's neighbors back with the announcer.
+type AnnounceAck struct {
+	Known []ids.ID
+}
+
+// MsgKind labels the message for accounting.
+func (AnnounceAck) MsgKind() string { return "overlay.announce" }
+
+// Heartbeat probes a leaf-set neighbor.
+type Heartbeat struct{ Ack bool }
+
+// MsgKind labels the message for accounting.
+func (Heartbeat) MsgKind() string { return "overlay.hb" }
+
+// ---------------------------------------------------------------------
+// Routing
+
+// NextHop computes the next overlay hop toward key. self=true means this
+// node is the key's owner (root).
+func (n *Node) NextHop(key ids.ID) (next ids.ID, self bool) {
+	if key == n.self {
+		return n.self, true
+	}
+	// Leaf-set range: deliver to the numerically closest member.
+	if n.leaf.Covers(key) {
+		c := n.leaf.Closest(key)
+		if c == n.self {
+			return n.self, true
+		}
+		return c, false
+	}
+	l := ids.CommonPrefixLen(n.self, key)
+	if e := n.rt.Get(l, key.Digit(l)); !e.IsZero() {
+		return e, false
+	}
+	// Rare case: scan all known nodes for one strictly closer to key
+	// with at least the same prefix length.
+	best := n.self
+	consider := func(x ids.ID) {
+		if ids.CommonPrefixLen(x, key) >= l && ids.CloserToKey(key, x, best) {
+			best = x
+		}
+	}
+	for _, x := range n.rt.Entries() {
+		consider(x)
+	}
+	for _, x := range n.leaf.Members() {
+		consider(x)
+	}
+	if best == n.self {
+		return n.self, true
+	}
+	return best, false
+}
+
+// Route sends payload toward the owner of key, delivering locally when
+// this node is the owner.
+func (n *Node) Route(key ids.ID, payload any) {
+	n.routeMsg(RouteMsg{Key: key, Origin: n.self, Payload: payload})
+}
+
+func (n *Node) routeMsg(m RouteMsg) {
+	next, isSelf := n.NextHop(m.Key)
+	if isSelf {
+		if n.Deliver != nil {
+			n.Deliver(m.Key, m.Payload, m.Origin)
+		}
+		return
+	}
+	m.Hops++
+	if m.Hops > ids.Digits+2*n.cfg.LeafSetSize {
+		// Routing loop under pathological state; drop.
+		return
+	}
+	n.env.Send(next, m)
+}
+
+// BroadcastTarget is one child edge in the prefix-constrained broadcast
+// tree: the recipient and the level it becomes responsible for.
+type BroadcastTarget struct {
+	ID    ids.ID
+	Level int
+}
+
+// BroadcastTargets enumerates this node's children when it participates
+// in a broadcast at the given level: every routing-table entry in rows
+// >= level. With complete tables the targets partition the node's
+// region of the identifier space, so a broadcast from a tree root
+// reaches every live node exactly once.
+func (n *Node) BroadcastTargets(level int) []BroadcastTarget {
+	var out []BroadcastTarget
+	for r := level; r < ids.Digits; r++ {
+		row := n.rt.Row(r)
+		for c := 0; c < ids.Radix; c++ {
+			if row[c].IsZero() || row[c] == n.self {
+				continue
+			}
+			out = append(out, BroadcastTarget{ID: row[c], Level: r + 1})
+		}
+	}
+	return out
+}
+
+// deadTTL is how long a death certificate blocks re-installation.
+const deadTTL = time.Minute
+
+// Install adds a known-live node to routing state. Recently failed
+// nodes are rejected so stale gossip cannot resurrect them.
+func (n *Node) Install(id ids.ID) {
+	if at, isDead := n.dead[id]; isDead {
+		if n.env.Now()-at < deadTTL {
+			return
+		}
+		delete(n.dead, id)
+	}
+	a := n.rt.Install(n.self, id)
+	b := n.leaf.Install(id)
+	if a || b {
+		n.gen++
+	}
+}
+
+// RemoveNode purges a failed node from routing state.
+func (n *Node) RemoveNode(dead ids.ID) {
+	a := n.rt.Remove(n.self, dead)
+	b := n.leaf.Remove(dead)
+	delete(n.hbMisses, dead)
+	if a || b {
+		n.gen++
+	}
+}
+
+// Gen is a generation counter bumped on every routing-state change;
+// callers use it to invalidate caches derived from the table.
+func (n *Node) Gen() int { return n.gen }
+
+// EstimateSize estimates the total overlay population from leaf-set
+// density: the leaf set spans a known fraction of the ring, so the ring
+// holds roughly members/spanFraction nodes. Moara uses the estimate to
+// cost never-queried (cold) trees.
+func (n *Node) EstimateSize() float64 {
+	members := n.leaf.Members()
+	if len(members) == 0 {
+		return 1
+	}
+	// The widest reach on each side bounds the arc the leaf set covers;
+	// members/arc extrapolates to the full ring.
+	var maxSucc, maxPred float64
+	for _, m := range members {
+		s := ids.Fraction(ringGap(n.self, m))
+		p := ids.Fraction(ringGap(m, n.self))
+		if s < p {
+			if s > maxSucc {
+				maxSucc = s
+			}
+		} else {
+			if p > maxPred {
+				maxPred = p
+			}
+		}
+	}
+	arc := maxSucc + maxPred
+	if arc <= 0 {
+		return float64(len(members) + 1)
+	}
+	return float64(len(members)+1) / arc
+}
+
+// ---------------------------------------------------------------------
+// Join protocol
+
+// Join bootstraps via an existing overlay member.
+func (n *Node) Join(bootstrap ids.ID) {
+	n.env.Send(bootstrap, JoinRequest{Joiner: n.self})
+}
+
+// Handle processes overlay messages. It reports whether the message was
+// an overlay message (false means the caller should interpret it).
+func (n *Node) Handle(from ids.ID, m any) bool {
+	switch msg := m.(type) {
+	case RouteMsg:
+		n.routeMsg(msg)
+	case JoinRequest:
+		n.handleJoinRequest(msg)
+	case JoinReply:
+		n.handleJoinReply(msg)
+	case Announce:
+		n.Install(msg.ID)
+		n.env.Send(msg.ID, AnnounceAck{Known: n.knownSample()})
+	case AnnounceAck:
+		for _, id := range msg.Known {
+			if id == n.self {
+				continue
+			}
+			n.Install(id)
+			// Epidemic discovery: introduce ourselves to every newly
+			// learned peer exactly once, so late joiners become
+			// visible cluster-wide and routing holes close.
+			if n.joined && !n.announced[id] {
+				if _, isDead := n.dead[id]; !isDead {
+					n.announced[id] = true
+					n.env.Send(id, Announce{ID: n.self})
+				}
+			}
+		}
+	case Heartbeat:
+		n.handleHeartbeat(from, msg)
+	default:
+		return false
+	}
+	return true
+}
+
+func (n *Node) handleJoinRequest(m JoinRequest) {
+	// Contribute the row the joiner will use at this hop.
+	l := ids.CommonPrefixLen(n.self, m.Joiner)
+	if l < ids.Digits {
+		row := n.rt.Row(l)
+		for c := 0; c < ids.Radix; c++ {
+			if !row[c].IsZero() {
+				m.Rows = append(m.Rows, row[c])
+			}
+		}
+	}
+	m.Rows = append(m.Rows, n.self)
+	next, isSelf := n.NextHop(m.Joiner)
+	if isSelf || next == m.Joiner {
+		// This node is the joiner's closest existing neighbor: reply
+		// with accumulated rows plus the local leaf set.
+		n.env.Send(m.Joiner, JoinReply{Rows: m.Rows, Leaf: append(n.leaf.Members(), n.self)})
+		return
+	}
+	m.Hops++
+	if m.Hops > ids.Digits {
+		n.env.Send(m.Joiner, JoinReply{Rows: m.Rows, Leaf: append(n.leaf.Members(), n.self)})
+		return
+	}
+	n.env.Send(next, m)
+}
+
+func (n *Node) handleJoinReply(m JoinReply) {
+	for _, id := range m.Rows {
+		n.Install(id)
+	}
+	for _, id := range m.Leaf {
+		n.Install(id)
+	}
+	wasJoined := n.joined
+	n.joined = true
+	// Tell everyone we know about ourselves so they can install us.
+	for _, id := range n.knownSample() {
+		n.announced[id] = true
+		n.env.Send(id, Announce{ID: n.self})
+	}
+	if !wasJoined {
+		n.startHeartbeats()
+		for _, p := range n.joinPending {
+			n.Route(p.key, p.payload)
+		}
+		n.joinPending = nil
+	}
+}
+
+func (n *Node) knownSample() []ids.ID {
+	seen := map[ids.ID]bool{n.self: true}
+	var out []ids.ID
+	for _, id := range n.rt.Entries() {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	for _, id := range n.leaf.Members() {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Liveness
+
+func (n *Node) startHeartbeats() {
+	if n.cfg.HeartbeatEvery <= 0 || n.stopHB != nil {
+		return
+	}
+	var tick func()
+	tick = func() {
+		for _, id := range n.leaf.Members() {
+			n.hbMisses[id]++
+			if n.hbMisses[id] > n.cfg.HeartbeatMiss {
+				n.declareDead(id)
+				continue
+			}
+			n.env.Send(id, Heartbeat{})
+		}
+		n.stopHB = n.env.After(n.cfg.HeartbeatEvery, tick)
+	}
+	n.stopHB = n.env.After(n.cfg.HeartbeatEvery, tick)
+}
+
+func (n *Node) handleHeartbeat(from ids.ID, m Heartbeat) {
+	if m.Ack {
+		n.hbMisses[from] = 0
+		return
+	}
+	n.Install(from)
+	n.env.Send(from, Heartbeat{Ack: true})
+}
+
+func (n *Node) declareDead(deadID ids.ID) {
+	n.RemoveNode(deadID)
+	n.dead[deadID] = n.env.Now()
+	if n.OnNeighborDead != nil {
+		n.OnNeighborDead(deadID)
+	}
+	// Leaf-set repair: ask the remaining members for their neighbors
+	// to refill the set.
+	for _, id := range n.leaf.Members() {
+		n.env.Send(id, Announce{ID: n.self})
+	}
+}

@@ -1,0 +1,242 @@
+// Package pastry implements a Pastry-style structured overlay: prefix
+// routing over 128-bit identifiers, leaf sets, a join protocol with
+// lazy repair, and the prefix-constrained broadcast trees Moara builds
+// its aggregation on.
+//
+// Two bootstrap modes are supported:
+//
+//   - Protocol mode: nodes join via the standard Pastry join handshake
+//     and maintain liveness with heartbeats (used by smaller integration
+//     tests and the TCP deployment).
+//   - Oracle mode: a global Oracle fills routing state directly from the
+//     membership list (used for 10k+ node simulations, where the paper
+//     likewise relies on the FreePastry simulator and explicitly excludes
+//     DHT maintenance overhead from its measurements).
+package pastry
+
+import (
+	"sort"
+
+	"github.com/moara/moara/internal/ids"
+)
+
+// RoutingTable is the classic Pastry prefix table: Rows[r][c] holds a
+// node sharing r leading digits with the owner and having digit c at
+// position r. The zero ID marks an empty slot.
+type RoutingTable struct {
+	rows [ids.Digits][ids.Radix]ids.ID
+}
+
+// Get returns the entry at (row, col); the zero ID if empty.
+func (t *RoutingTable) Get(row, col int) ids.ID { return t.rows[row][col] }
+
+// Set stores an entry.
+func (t *RoutingTable) Set(row, col int, id ids.ID) { t.rows[row][col] = id }
+
+// Clear empties the slot at (row, col).
+func (t *RoutingTable) Clear(row, col int) { t.rows[row][col] = ids.Zero }
+
+// Row returns a copy of one table row.
+func (t *RoutingTable) Row(row int) [ids.Radix]ids.ID { return t.rows[row] }
+
+// Install records candidate relative to owner if it fills an empty slot.
+// It reports whether the table changed.
+func (t *RoutingTable) Install(owner, candidate ids.ID) bool {
+	if candidate == owner || candidate.IsZero() {
+		return false
+	}
+	r := ids.CommonPrefixLen(owner, candidate)
+	if r >= ids.Digits {
+		return false
+	}
+	c := candidate.Digit(r)
+	if t.rows[r][c].IsZero() {
+		t.rows[r][c] = candidate
+		return true
+	}
+	return false
+}
+
+// Remove deletes every slot holding dead. It reports whether anything
+// was removed.
+func (t *RoutingTable) Remove(owner, dead ids.ID) bool {
+	if dead.IsZero() {
+		return false
+	}
+	r := ids.CommonPrefixLen(owner, dead)
+	if r >= ids.Digits {
+		return false
+	}
+	c := dead.Digit(r)
+	if t.rows[r][c] == dead {
+		t.rows[r][c] = ids.Zero
+		return true
+	}
+	return false
+}
+
+// Entries returns every non-empty entry.
+func (t *RoutingTable) Entries() []ids.ID {
+	var out []ids.ID
+	for r := 0; r < ids.Digits; r++ {
+		for c := 0; c < ids.Radix; c++ {
+			if !t.rows[r][c].IsZero() {
+				out = append(out, t.rows[r][c])
+			}
+		}
+	}
+	return out
+}
+
+// LeafSet tracks the owner's closest ring neighbors: up to size entries
+// clockwise (successors) and size counter-clockwise (predecessors).
+type LeafSet struct {
+	owner ids.ID
+	size  int
+	// all holds the union of both sides, kept sorted by ring position
+	// relative to the owner (successors ascending, then predecessors).
+	succ []ids.ID // ascending ring order starting just after owner
+	pred []ids.ID // descending ring order starting just before owner
+}
+
+// NewLeafSet creates a leaf set keeping size nodes per side.
+func NewLeafSet(owner ids.ID, size int) *LeafSet {
+	return &LeafSet{owner: owner, size: size}
+}
+
+// ringGap returns the clockwise distance from a to b on the 2^128 ring.
+func ringGap(a, b ids.ID) ids.ID {
+	// b - a mod 2^128.
+	if ids.Cmp(b, a) >= 0 {
+		return ids.Distance(b, a)
+	}
+	// 2^128 - (a - b)
+	d := ids.Distance(a, b)
+	return negID(d)
+}
+
+func negID(a ids.ID) ids.ID {
+	// two's complement: ^a + 1
+	var out ids.ID
+	carry := byte(1)
+	for i := ids.Bytes - 1; i >= 0; i-- {
+		v := ^a[i] + carry
+		if carry == 1 && v != 0 {
+			carry = 0
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Install inserts candidate into the leaf set if it belongs among the
+// closest neighbors. It reports whether membership changed.
+func (l *LeafSet) Install(candidate ids.ID) bool {
+	if candidate == l.owner || candidate.IsZero() || l.Contains(candidate) {
+		return false
+	}
+	insert := func(side []ids.ID, gap func(ids.ID) ids.ID) ([]ids.ID, bool) {
+		side = append(side, candidate)
+		sort.Slice(side, func(i, j int) bool {
+			return ids.Cmp(gap(side[i]), gap(side[j])) < 0
+		})
+		if len(side) > l.size {
+			if side[l.size] == candidate {
+				return side[:l.size], false
+			}
+			side = side[:l.size]
+		}
+		return side, true
+	}
+	var inSucc, inPred bool
+	l.succ, inSucc = insert(l.succ, func(x ids.ID) ids.ID { return ringGap(l.owner, x) })
+	l.pred, inPred = insert(l.pred, func(x ids.ID) ids.ID { return ringGap(x, l.owner) })
+	if !inSucc {
+		l.succ = remove(l.succ, candidate)
+	}
+	if !inPred {
+		l.pred = remove(l.pred, candidate)
+	}
+	return inSucc || inPred
+}
+
+// Remove deletes a node from both sides; reports whether it was present.
+func (l *LeafSet) Remove(dead ids.ID) bool {
+	n := len(l.succ) + len(l.pred)
+	l.succ = remove(l.succ, dead)
+	l.pred = remove(l.pred, dead)
+	return len(l.succ)+len(l.pred) != n
+}
+
+func remove(s []ids.ID, id ids.ID) []ids.ID {
+	out := s[:0]
+	for _, x := range s {
+		if x != id {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Contains reports whether id is in the leaf set.
+func (l *LeafSet) Contains(id ids.ID) bool {
+	for _, x := range l.succ {
+		if x == id {
+			return true
+		}
+	}
+	for _, x := range l.pred {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Members returns all leaf-set members (both sides, deduplicated).
+func (l *LeafSet) Members() []ids.ID {
+	seen := make(map[ids.ID]bool, len(l.succ)+len(l.pred))
+	out := make([]ids.ID, 0, len(l.succ)+len(l.pred))
+	for _, x := range l.succ {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	for _, x := range l.pred {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Closest returns the leaf-set member (or the owner) closest to key
+// under the ring metric.
+func (l *LeafSet) Closest(key ids.ID) ids.ID {
+	best := l.owner
+	for _, x := range l.Members() {
+		if ids.CloserToKey(key, x, best) {
+			best = x
+		}
+	}
+	return best
+}
+
+// Covers reports whether key falls within the span of the leaf set (or
+// the set is small enough that the owner sees the whole ring).
+func (l *LeafSet) Covers(key ids.ID) bool {
+	if len(l.succ) < l.size || len(l.pred) < l.size {
+		// Sparse ring: the leaf set spans everything we know.
+		return true
+	}
+	gapKey := ringGap(l.owner, key)
+	lastSucc := ringGap(l.owner, l.succ[len(l.succ)-1])
+	if ids.Cmp(gapKey, lastSucc) <= 0 {
+		return true
+	}
+	gapKeyP := ringGap(key, l.owner)
+	lastPred := ringGap(l.pred[len(l.pred)-1], l.owner)
+	return ids.Cmp(gapKeyP, lastPred) <= 0
+}

@@ -1,0 +1,159 @@
+package pastry
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/moara/moara/internal/ids"
+)
+
+func TestRoutingTableInstallRemove(t *testing.T) {
+	owner := ids.MustHex("a0000000000000000000000000000000")
+	var rt RoutingTable
+
+	peer := ids.MustHex("b0000000000000000000000000000000") // differs at digit 0
+	if !rt.Install(owner, peer) {
+		t.Fatal("install failed")
+	}
+	if rt.Get(0, 0xb) != peer {
+		t.Fatal("slot not filled")
+	}
+	// Second candidate for the same slot does not evict.
+	peer2 := ids.MustHex("b1000000000000000000000000000000")
+	if rt.Install(owner, peer2) {
+		t.Fatal("occupied slot should not be replaced")
+	}
+	// Self and zero are rejected.
+	if rt.Install(owner, owner) || rt.Install(owner, ids.Zero) {
+		t.Fatal("self/zero installed")
+	}
+	// Deeper row.
+	deep := ids.MustHex("a5000000000000000000000000000000") // shares 1 digit
+	rt.Install(owner, deep)
+	if rt.Get(1, 5) != deep {
+		t.Fatal("deep slot not filled")
+	}
+	if !rt.Remove(owner, peer) || !rt.Get(0, 0xb).IsZero() {
+		t.Fatal("remove failed")
+	}
+	if rt.Remove(owner, peer) {
+		t.Fatal("double remove reported success")
+	}
+	if got := len(rt.Entries()); got != 1 {
+		t.Fatalf("entries = %d", got)
+	}
+}
+
+func TestLeafSetKeepsClosest(t *testing.T) {
+	owner := ids.FromUint64(1000)
+	ls := NewLeafSet(owner, 2)
+	for _, v := range []uint64{1001, 1002, 1003, 999, 998, 997} {
+		ls.Install(ids.FromUint64(v))
+	}
+	members := ls.Members()
+	sort.Slice(members, func(i, j int) bool { return ids.Less(members[i], members[j]) })
+	want := []uint64{998, 999, 1001, 1002}
+	if len(members) != len(want) {
+		t.Fatalf("members = %d (%v)", len(members), members)
+	}
+	for i, m := range members {
+		if m != ids.FromUint64(want[i]) {
+			t.Fatalf("member %d = %s, want %d", i, m.Short(), want[i])
+		}
+	}
+	if ls.Contains(ids.FromUint64(997)) {
+		t.Fatal("distant node kept in leaf set")
+	}
+	if !ls.Remove(ids.FromUint64(998)) {
+		t.Fatal("remove failed")
+	}
+}
+
+func TestLeafSetClosest(t *testing.T) {
+	owner := ids.FromUint64(1000)
+	ls := NewLeafSet(owner, 4)
+	for _, v := range []uint64{900, 950, 1050, 1100} {
+		ls.Install(ids.FromUint64(v))
+	}
+	if got := ls.Closest(ids.FromUint64(1060)); got != ids.FromUint64(1050) {
+		t.Fatalf("closest = %s", got.Short())
+	}
+	if got := ls.Closest(ids.FromUint64(1001)); got != owner {
+		t.Fatalf("closest to self-adjacent key = %s, want owner", got.Short())
+	}
+}
+
+func TestOracleOwnerMatchesBruteForce(t *testing.T) {
+	members := make([]ids.ID, 120)
+	for i := range members {
+		members[i] = ids.FromKey(string(rune('a'+i%26)) + string(rune('0'+i/26)))
+	}
+	o := NewOracle(members)
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 300; trial++ {
+		key := ids.Random(rng)
+		want := members[0]
+		for _, m := range members[1:] {
+			if ids.CloserToKey(key, m, want) {
+				want = m
+			}
+		}
+		if got := o.Owner(key); got != want {
+			t.Fatalf("owner(%s) = %s, want %s", key.Short(), got.Short(), want.Short())
+		}
+	}
+}
+
+func TestEstimateSize(t *testing.T) {
+	for _, n := range []int{50, 500, 5000} {
+		_, nodes, members := buildOracleNodes(t, n)
+		est := nodes[members[0]].EstimateSize()
+		if est < float64(n)/4 || est > float64(n)*4 {
+			t.Errorf("n=%d: estimate %v off by more than 4x", n, est)
+		}
+	}
+}
+
+func TestJoinProtocolBuildsRoutableOverlay(t *testing.T) {
+	// Protocol-mode join is exercised end to end through the cluster
+	// package; here we check the join accumulates routing state.
+	o, nodes, members := buildOracleNodes(t, 50)
+	_ = o
+	joined := 0
+	for _, id := range members {
+		if nodes[id].Joined() {
+			joined++
+		}
+	}
+	if joined != 50 {
+		t.Fatalf("joined = %d", joined)
+	}
+	for _, id := range members[:5] {
+		if got := len(nodes[id].Table().Entries()); got == 0 {
+			t.Fatalf("node %s has empty table", id.Short())
+		}
+		if got := len(nodes[id].Leaf().Members()); got == 0 {
+			t.Fatalf("node %s has empty leaf set", id.Short())
+		}
+	}
+}
+
+func TestRemoveNodePurgesState(t *testing.T) {
+	_, nodes, members := buildOracleNodes(t, 30)
+	n := nodes[members[0]]
+	entries := n.Table().Entries()
+	if len(entries) == 0 {
+		t.Skip("no entries")
+	}
+	gen := n.Gen()
+	n.RemoveNode(entries[0])
+	if n.Gen() == gen {
+		t.Fatal("generation not bumped on removal")
+	}
+	for _, e := range n.Table().Entries() {
+		if e == entries[0] {
+			t.Fatal("dead node still in table")
+		}
+	}
+}

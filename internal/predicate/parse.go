@@ -1,0 +1,239 @@
+package predicate
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"github.com/moara/moara/internal/value"
+)
+
+// ParseExpr parses a predicate expression in the query language's
+// grammar:
+//
+//	expr   := and-expr ('or' and-expr)*
+//	and    := unary ('and' unary)*
+//	unary  := 'not' unary | '(' expr ')' | simple
+//	simple := attr op literal,  op ∈ {<, >, <=, >=, =, !=, <>}
+//
+// Attribute names are identifiers (letters, digits, '_', '-', '.');
+// literals are numbers, true/false, quoted strings, or bare words.
+// 'not' is pushed down to the operators per the paper's implicit-not
+// support.
+func ParseExpr(s string) (Expr, error) {
+	p := &parser{toks: lex(s)}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("predicate: trailing input %q", p.peek().text)
+	}
+	return e, nil
+}
+
+// ParseSimple parses a single simple predicate term.
+func ParseSimple(s string) (Simple, error) {
+	e, err := ParseExpr(s)
+	if err != nil {
+		return Simple{}, err
+	}
+	sim, ok := e.(Simple)
+	if !ok {
+		return Simple{}, fmt.Errorf("predicate: %q is not a simple predicate", s)
+	}
+	return sim, nil
+}
+
+// MustParse is ParseExpr that panics on error; for tests and examples.
+func MustParse(s string) Expr {
+	e, err := ParseExpr(s)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokOp
+	tokLParen
+	tokRParen
+	tokLiteral
+	tokErr
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+func lex(s string) []token {
+	var out []token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case unicode.IsSpace(rune(c)):
+			i++
+		case c == '(':
+			out = append(out, token{tokLParen, "("})
+			i++
+		case c == ')':
+			out = append(out, token{tokRParen, ")"})
+			i++
+		case c == '<' || c == '>' || c == '=' || c == '!':
+			j := i + 1
+			if j < len(s) && (s[j] == '=' || (c == '<' && s[j] == '>')) {
+				j++
+			}
+			out = append(out, token{tokOp, s[i:j]})
+			i = j
+		case c == '"' || c == '\'':
+			q := c
+			j := i + 1
+			for j < len(s) && s[j] != q {
+				j++
+			}
+			if j >= len(s) {
+				out = append(out, token{tokErr, s[i:]})
+				return out
+			}
+			out = append(out, token{tokLiteral, s[i : j+1]})
+			i = j + 1
+		default:
+			j := i
+			for j < len(s) && isWordChar(s[j]) {
+				j++
+			}
+			if j == i {
+				out = append(out, token{tokErr, s[i:]})
+				return out
+			}
+			out = append(out, token{tokIdent, s[i:j]})
+			i = j
+		}
+	}
+	out = append(out, token{tokEOF, ""})
+	return out
+}
+
+func isWordChar(c byte) bool {
+	return c == '_' || c == '-' || c == '.' || c == '*' ||
+		('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9') ||
+		c == '+'
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) eof() bool { return p.peek().kind == tokEOF }
+
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	first, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	terms := []Expr{first}
+	for p.keyword("or") {
+		t, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+	}
+	if len(terms) == 1 {
+		return terms[0], nil
+	}
+	return Or{Terms: terms}, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	first, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	terms := []Expr{first}
+	for p.keyword("and") {
+		t, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+	}
+	if len(terms) == 1 {
+		return terms[0], nil
+	}
+	return And{Terms: terms}, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.keyword("not") {
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Negate(inner), nil
+	}
+	if p.peek().kind == tokLParen {
+		p.next()
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tokRParen {
+			return nil, fmt.Errorf("predicate: missing ')' near %q", p.peek().text)
+		}
+		p.next()
+		return inner, nil
+	}
+	return p.parseSimpleTerm()
+}
+
+func (p *parser) parseSimpleTerm() (Expr, error) {
+	attrTok := p.next()
+	if attrTok.kind != tokIdent {
+		return nil, fmt.Errorf("predicate: expected attribute, got %q", attrTok.text)
+	}
+	opTok := p.next()
+	if opTok.kind != tokOp {
+		return nil, fmt.Errorf("predicate: expected operator after %q, got %q", attrTok.text, opTok.text)
+	}
+	op, err := ParseOp(opTok.text)
+	if err != nil {
+		return nil, err
+	}
+	litTok := p.next()
+	if litTok.kind != tokIdent && litTok.kind != tokLiteral {
+		return nil, fmt.Errorf("predicate: expected literal after %q %s, got %q", attrTok.text, op, litTok.text)
+	}
+	v, err := value.Parse(litTok.text)
+	if err != nil {
+		return nil, err
+	}
+	return Simple{Attr: attrTok.text, Op: op, Val: v}, nil
+}

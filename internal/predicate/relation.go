@@ -1,0 +1,302 @@
+package predicate
+
+import (
+	"math"
+)
+
+// Rel classifies the set relation between two simple predicates over the
+// same attribute, following Fig. 8 of the paper. The relation is used by
+// the query optimizer to shrink covers (Fig. 7) and to detect implicit
+// "not" pairs.
+type Rel uint8
+
+// The relations of Fig. 8.
+const (
+	// RelUnknown means the relation could not be inferred; the
+	// optimizer must be conservative.
+	RelUnknown Rel = iota
+	// RelEqual: the groups are identical.
+	RelEqual
+	// RelSubset: A is a strict subset of B.
+	RelSubset
+	// RelSuperset: A is a strict superset of B.
+	RelSuperset
+	// RelDisjoint: the groups cannot share a node.
+	RelDisjoint
+	// RelOverlap: the groups properly intersect.
+	RelOverlap
+	// RelComplement: B is exactly "not A" (disjoint and covering).
+	RelComplement
+)
+
+// String names the relation.
+func (r Rel) String() string {
+	switch r {
+	case RelEqual:
+		return "equal"
+	case RelSubset:
+		return "subset"
+	case RelSuperset:
+		return "superset"
+	case RelDisjoint:
+		return "disjoint"
+	case RelOverlap:
+		return "overlap"
+	case RelComplement:
+		return "complement"
+	default:
+		return "unknown"
+	}
+}
+
+// Relation infers the set relation of a relative to b. It returns
+// RelUnknown for different attributes or undecidable operator/type
+// combinations. Numeric predicates use interval algebra over the reals;
+// boolean predicates use exact two-point-domain analysis; string
+// equality predicates use point/co-point analysis.
+func Relation(a, b Simple) Rel {
+	if a.Attr != b.Attr {
+		return RelUnknown
+	}
+	if av, ok := a.Val.AsBool(); ok {
+		bv, ok2 := b.Val.AsBool()
+		if !ok2 {
+			return RelUnknown
+		}
+		return boolRelation(a.Op, av, b.Op, bv)
+	}
+	if a.Val.IsNumeric() && b.Val.IsNumeric() {
+		ia, ok1 := numericSet(a)
+		ib, ok2 := numericSet(b)
+		if !ok1 || !ok2 {
+			return RelUnknown
+		}
+		return setRelation(ia, ib)
+	}
+	if _, ok := a.Val.AsString(); ok {
+		if _, ok2 := b.Val.AsString(); ok2 {
+			return stringRelation(a, b)
+		}
+	}
+	return RelUnknown
+}
+
+// boolRelation decides relations over the two-point domain {false,true}.
+func boolRelation(aop Op, av bool, bop Op, bv bool) Rel {
+	// Normalize to "the set of booleans satisfying the predicate".
+	setOf := func(op Op, v bool) (hasF, hasT, ok bool) {
+		switch op {
+		case OpEQ:
+			return v == false, v == true, true
+		case OpNE:
+			return v != false, v != true, true
+		default:
+			return false, false, false
+		}
+	}
+	af, at, ok1 := setOf(aop, av)
+	bf, bt, ok2 := setOf(bop, bv)
+	if !ok1 || !ok2 {
+		return RelUnknown
+	}
+	switch {
+	case af == bf && at == bt:
+		return RelEqual
+	case (af || at) && (bf || bt) && !(af && bf) && !(at && bt):
+		// Non-empty, disjoint; over a two-point domain disjoint
+		// singletons are complements.
+		return RelComplement
+	default:
+		return RelOverlap
+	}
+}
+
+// stringRelation handles = / != over strings (ordered string predicates
+// are left unknown, conservatively).
+func stringRelation(a, b Simple) Rel {
+	as, _ := a.Val.AsString()
+	bs, _ := b.Val.AsString()
+	switch {
+	case a.Op == OpEQ && b.Op == OpEQ:
+		if as == bs {
+			return RelEqual
+		}
+		return RelDisjoint
+	case a.Op == OpEQ && b.Op == OpNE:
+		if as == bs {
+			return RelComplement
+		}
+		return RelSubset // {as} ⊂ everything-but-bs
+	case a.Op == OpNE && b.Op == OpEQ:
+		if as == bs {
+			return RelComplement
+		}
+		return RelSuperset
+	case a.Op == OpNE && b.Op == OpNE:
+		if as == bs {
+			return RelEqual
+		}
+		return RelOverlap
+	default:
+		return RelUnknown
+	}
+}
+
+// ---------------------------------------------------------------------
+// Interval algebra over the reals for numeric predicates.
+
+// interval is [lo,hi] with independently open endpoints; lo/hi may be
+// ±Inf (infinite endpoints are always open).
+type interval struct {
+	lo, hi         float64
+	loOpen, hiOpen bool
+}
+
+func (iv interval) empty() bool {
+	if iv.lo > iv.hi {
+		return true
+	}
+	if iv.lo == iv.hi && (iv.loOpen || iv.hiOpen) {
+		return true
+	}
+	return false
+}
+
+// intervalSet is a union of disjoint, sorted intervals (at most 2 for
+// any simple predicate; at most 4 after one intersection).
+type intervalSet []interval
+
+// numericSet builds the satisfying set of a numeric simple predicate.
+func numericSet(s Simple) (intervalSet, bool) {
+	v, ok := s.Val.AsFloat()
+	if !ok {
+		return nil, false
+	}
+	inf := math.Inf(1)
+	switch s.Op {
+	case OpLT:
+		return intervalSet{{lo: -inf, hi: v, loOpen: true, hiOpen: true}}, true
+	case OpLE:
+		return intervalSet{{lo: -inf, hi: v, loOpen: true}}, true
+	case OpGT:
+		return intervalSet{{lo: v, hi: inf, loOpen: true, hiOpen: true}}, true
+	case OpGE:
+		return intervalSet{{lo: v, hi: inf, hiOpen: true}}, true
+	case OpEQ:
+		return intervalSet{{lo: v, hi: v}}, true
+	case OpNE:
+		return intervalSet{
+			{lo: -inf, hi: v, loOpen: true, hiOpen: true},
+			{lo: v, hi: inf, loOpen: true, hiOpen: true},
+		}, true
+	default:
+		return nil, false
+	}
+}
+
+// intersect computes the pairwise intersection of two interval sets.
+func intersect(a, b intervalSet) intervalSet {
+	var out intervalSet
+	for _, x := range a {
+		for _, y := range b {
+			lo, loOpen := x.lo, x.loOpen
+			if y.lo > lo || (y.lo == lo && y.loOpen) {
+				lo, loOpen = y.lo, y.loOpen
+			}
+			hi, hiOpen := x.hi, x.hiOpen
+			if y.hi < hi || (y.hi == hi && y.hiOpen) {
+				hi, hiOpen = y.hi, y.hiOpen
+			}
+			iv := interval{lo: lo, hi: hi, loOpen: loOpen, hiOpen: hiOpen}
+			if !iv.empty() {
+				out = append(out, iv)
+			}
+		}
+	}
+	return out
+}
+
+// equalSets reports whether two interval sets describe the same set of
+// reals. Inputs must be normalized (disjoint, sorted), which numericSet
+// and intersect produce.
+func equalSets(a, b intervalSet) bool {
+	a, b = normalize(a), normalize(b)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// normalize sorts and merges adjacent/overlapping intervals.
+func normalize(s intervalSet) intervalSet {
+	if len(s) <= 1 {
+		return s
+	}
+	out := make(intervalSet, len(s))
+	copy(out, s)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && less(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	merged := out[:1]
+	for _, iv := range out[1:] {
+		last := &merged[len(merged)-1]
+		// Merge when iv starts inside or exactly adjacent (closed
+		// meeting point) to last.
+		if iv.lo < last.hi || (iv.lo == last.hi && (!iv.loOpen || !last.hiOpen)) {
+			if iv.hi > last.hi || (iv.hi == last.hi && !iv.hiOpen) {
+				last.hi, last.hiOpen = iv.hi, iv.hiOpen
+			}
+			continue
+		}
+		merged = append(merged, iv)
+	}
+	return merged
+}
+
+func less(a, b interval) bool {
+	if a.lo != b.lo {
+		return a.lo < b.lo
+	}
+	return !a.loOpen && b.loOpen
+}
+
+// isUniverse reports whether the set covers all reals.
+func isUniverse(s intervalSet) bool {
+	s = normalize(s)
+	return len(s) == 1 && math.IsInf(s[0].lo, -1) && math.IsInf(s[0].hi, 1)
+}
+
+// union concatenates and normalizes.
+func union(a, b intervalSet) intervalSet {
+	out := make(intervalSet, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	return normalize(out)
+}
+
+// setRelation classifies interval sets a vs b.
+func setRelation(a, b intervalSet) Rel {
+	inter := intersect(a, b)
+	interEmpty := len(normalize(inter)) == 0
+	switch {
+	case equalSets(a, b):
+		return RelEqual
+	case interEmpty && isUniverse(union(a, b)):
+		return RelComplement
+	case interEmpty:
+		return RelDisjoint
+	case equalSets(inter, a):
+		return RelSubset
+	case equalSets(inter, b):
+		return RelSuperset
+	default:
+		return RelOverlap
+	}
+}

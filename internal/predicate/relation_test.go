@@ -1,0 +1,135 @@
+package predicate
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/moara/moara/internal/value"
+)
+
+func sp(attr, op string, v value.Value) Simple {
+	o, err := ParseOp(op)
+	if err != nil {
+		panic(err)
+	}
+	return Simple{Attr: attr, Op: o, Val: v}
+}
+
+func TestRelationTable(t *testing.T) {
+	f := value.Float
+	tests := []struct {
+		a, b Simple
+		want Rel
+	}{
+		// Fig. 8 rows.
+		{sp("cpu", "<", f(50)), sp("cpu", ">", f(20)), RelOverlap},
+		{sp("cpu", "<", f(50)), sp("cpu", "<", f(50)), RelEqual},
+		{sp("cpu", "<", f(20)), sp("cpu", "<", f(50)), RelSubset},
+		{sp("cpu", "<", f(50)), sp("cpu", "<", f(20)), RelSuperset},
+		{sp("cpu", "<", f(50)), sp("cpu", ">", f(80)), RelDisjoint},
+		{sp("cpu", "<", f(50)), sp("cpu", ">=", f(50)), RelComplement},
+		{sp("cpu", "<=", f(50)), sp("cpu", ">", f(50)), RelComplement},
+		{sp("cpu", "=", f(50)), sp("cpu", "!=", f(50)), RelComplement},
+		{sp("cpu", "=", f(20)), sp("cpu", "<", f(50)), RelSubset},
+		{sp("cpu", "=", f(20)), sp("cpu", "=", f(20)), RelEqual},
+		{sp("cpu", "=", f(20)), sp("cpu", "=", f(30)), RelDisjoint},
+		{sp("cpu", "!=", f(20)), sp("cpu", "<", f(50)), RelOverlap},
+		{sp("cpu", "<", f(50)), sp("cpu", "<=", f(50)), RelSubset},
+		{sp("cpu", ">", f(50)), sp("cpu", ">=", f(50)), RelSubset},
+		// Exact boundary disjointness (shared closed endpoint).
+		{sp("cpu", "<=", f(50)), sp("cpu", ">", f(50)), RelComplement},
+		{sp("cpu", "<", f(50)), sp("cpu", ">", f(50)), RelDisjoint},
+		// Mixed int/float domains.
+		{sp("cpu", "<", value.Int(50)), sp("cpu", ">=", f(50)), RelComplement},
+		// Different attributes: unknown.
+		{sp("cpu", "<", f(50)), sp("mem", "<", f(50)), RelUnknown},
+		// Strings.
+		{sp("os", "=", value.Str("linux")), sp("os", "=", value.Str("linux")), RelEqual},
+		{sp("os", "=", value.Str("linux")), sp("os", "=", value.Str("bsd")), RelDisjoint},
+		{sp("os", "=", value.Str("linux")), sp("os", "!=", value.Str("linux")), RelComplement},
+		{sp("os", "=", value.Str("linux")), sp("os", "!=", value.Str("bsd")), RelSubset},
+		{sp("os", "!=", value.Str("linux")), sp("os", "=", value.Str("bsd")), RelSuperset},
+		{sp("os", "!=", value.Str("a")), sp("os", "!=", value.Str("b")), RelOverlap},
+		// Booleans over the two-point domain.
+		{sp("up", "=", value.Bool(true)), sp("up", "=", value.Bool(false)), RelComplement},
+		{sp("up", "=", value.Bool(true)), sp("up", "!=", value.Bool(false)), RelEqual},
+		{sp("up", "=", value.Bool(true)), sp("up", "!=", value.Bool(true)), RelComplement},
+		// String ordered comparisons stay unknown (conservative).
+		{sp("os", "<", value.Str("m")), sp("os", ">", value.Str("m")), RelUnknown},
+	}
+	for _, tc := range tests {
+		if got := Relation(tc.a, tc.b); got != tc.want {
+			t.Errorf("Relation(%s, %s) = %s, want %s", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+// TestRelationModelChecked cross-validates the interval algebra against
+// brute-force evaluation over a sampled numeric domain.
+func TestRelationModelChecked(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	// Sample points straddling all the thresholds used below.
+	var domain []float64
+	for v := -1.0; v <= 6.0; v += 0.25 {
+		domain = append(domain, v)
+	}
+	ops := []Op{OpLT, OpGT, OpLE, OpGE, OpEQ, OpNE}
+	for trial := 0; trial < 2000; trial++ {
+		a := Simple{Attr: "x", Op: ops[rng.Intn(len(ops))], Val: value.Float(float64(rng.Intn(5)))}
+		b := Simple{Attr: "x", Op: ops[rng.Intn(len(ops))], Val: value.Float(float64(rng.Intn(5)))}
+		rel := Relation(a, b)
+		if rel == RelUnknown {
+			t.Fatalf("numeric relation unknown for %s vs %s", a, b)
+		}
+		var onlyA, onlyB, both int
+		for _, v := range domain {
+			g := mapGetter{"x": value.Float(v)}
+			av, bv := a.Eval(g), b.Eval(g)
+			switch {
+			case av && bv:
+				both++
+			case av:
+				onlyA++
+			case bv:
+				onlyB++
+			}
+		}
+		// The sampled domain can't see open/closed endpoint subtleties
+		// beyond the sampled resolution, so check implications only.
+		switch rel {
+		case RelEqual:
+			if onlyA != 0 || onlyB != 0 {
+				t.Fatalf("%s = %s claimed equal; onlyA=%d onlyB=%d", a, b, onlyA, onlyB)
+			}
+		case RelSubset:
+			if onlyA != 0 {
+				t.Fatalf("%s ⊆ %s claimed; onlyA=%d", a, b, onlyA)
+			}
+		case RelSuperset:
+			if onlyB != 0 {
+				t.Fatalf("%s ⊇ %s claimed; onlyB=%d", a, b, onlyB)
+			}
+		case RelDisjoint, RelComplement:
+			if both != 0 {
+				t.Fatalf("%s disjoint %s claimed; both=%d", a, b, both)
+			}
+			if rel == RelComplement {
+				// Complement additionally covers the whole domain.
+				for _, v := range domain {
+					g := mapGetter{"x": value.Float(v)}
+					if !a.Eval(g) && !b.Eval(g) {
+						t.Fatalf("%s complement %s claimed but %v satisfies neither", a, b, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRelationSymmetryPairs(t *testing.T) {
+	f := value.Float
+	a, b := sp("cpu", "<", f(20)), sp("cpu", "<", f(50))
+	if Relation(a, b) != RelSubset || Relation(b, a) != RelSuperset {
+		t.Fatal("subset/superset symmetry broken")
+	}
+}

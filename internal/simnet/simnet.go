@@ -1,0 +1,409 @@
+// Package simnet is a deterministic discrete-event network simulator.
+//
+// It provides virtual time, seeded randomness, pluggable latency models,
+// message-level failure injection, and per-message accounting. All Moara
+// node logic is event-driven against the Env interface, so the same code
+// runs unchanged on simnet (for 16k-node experiments) and on the real
+// TCP transport (for multi-process deployments).
+//
+// The simulator is single-threaded: Run drains a priority queue of timed
+// events on the caller's goroutine. With a fixed seed, runs are exactly
+// reproducible.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/moara/moara/internal/ids"
+)
+
+// Handler consumes messages delivered to a node.
+type Handler interface {
+	// Handle processes one message sent by the node with identifier
+	// from. It runs on the simulator goroutine; implementations may
+	// freely call Env methods but must not block.
+	Handle(from ids.ID, m any)
+}
+
+// Env is the environment a node runs in: its identity, a message
+// transport, timers, a clock, and a random source. internal/pastry and
+// internal/core depend only on this interface.
+type Env interface {
+	// Self returns the node's identifier.
+	Self() ids.ID
+	// Send transmits m to the node with identifier to. Delivery is
+	// asynchronous and may be lost if the destination is down.
+	Send(to ids.ID, m any)
+	// After schedules fn to run once after d. The returned function
+	// cancels the timer if it has not fired.
+	After(d time.Duration, fn func()) (cancel func())
+	// Now returns the current (virtual or wall-clock) time expressed
+	// as an offset from the run's epoch.
+	Now() time.Duration
+	// Rand returns the node's deterministic random source.
+	Rand() *rand.Rand
+}
+
+// LatencyModel computes one-way message latencies. Models receive the
+// current virtual time so they can express time-varying behavior
+// (bursty straggler nodes, diurnal load).
+type LatencyModel interface {
+	// Latency returns the one-way delay for a message from -> to sent
+	// at time now.
+	Latency(from, to ids.ID, now time.Duration, rng *rand.Rand) time.Duration
+}
+
+// Counter accumulates message statistics.
+type Counter struct {
+	// Total is the number of messages sent.
+	Total int64
+	// ByKind maps message kind (see Kinder) to message count.
+	ByKind map[string]int64
+	// ByNode maps sender ID to messages sent by that node.
+	ByNode map[ids.ID]int64
+	// RecvByNode maps receiver ID to messages delivered to that node.
+	RecvByNode map[ids.ID]int64
+}
+
+func newCounter() *Counter {
+	return &Counter{
+		ByKind:     make(map[string]int64),
+		ByNode:     make(map[ids.ID]int64),
+		RecvByNode: make(map[ids.ID]int64),
+	}
+}
+
+// Kinder lets message types label themselves for accounting.
+type Kinder interface {
+	MsgKind() string
+}
+
+// KindOf returns the accounting label for a message.
+func KindOf(m any) string {
+	if k, ok := m.(Kinder); ok {
+		return k.MsgKind()
+	}
+	return fmt.Sprintf("%T", m)
+}
+
+// Options configure a Network.
+type Options struct {
+	// Seed initializes the deterministic random source.
+	Seed int64
+	// Latency is the one-way latency model. Defaults to a 1ms fixed
+	// delay when nil.
+	Latency LatencyModel
+	// ProcDelay is added at the receiver per message, modeling
+	// software processing cost (the paper's FreePastry/Java stack).
+	ProcDelay time.Duration
+	// ProcJitter adds a uniform random extra processing delay in
+	// [0, ProcJitter).
+	ProcJitter time.Duration
+	// Drop, when non-nil, is consulted per message; returning true
+	// silently discards the message (partition/fault injection).
+	Drop func(from, to ids.ID, m any) bool
+	// Tap, when non-nil, observes every sent message along with its
+	// sampled one-way wire latency (before processing delay). The
+	// Fig. 16 bottleneck analysis uses it to reconstruct tree-edge
+	// round-trip times.
+	Tap func(from, to ids.ID, m any, wireLatency time.Duration)
+	// SerializeProc, when true, models per-node CPU queueing: messages
+	// to one node are processed one at a time, each occupying the node
+	// for ProcDelay(+jitter). This reproduces the aggregation-root
+	// serialization that dominates the paper's Emulab latencies.
+	SerializeProc bool
+	// CPUOf, when non-nil with SerializeProc, maps nodes to shared
+	// CPUs: the paper's Emulab testbed ran 10 Moara instances per
+	// physical machine, so co-located instances contend for one CPU.
+	CPUOf func(id ids.ID) int
+}
+
+// Network is a simulated network of nodes sharing one virtual clock.
+type Network struct {
+	opts    Options
+	rng     *rand.Rand
+	now     time.Duration
+	seq     int64
+	events  eventQueue
+	nodes   map[ids.ID]*nodeEnv
+	down    map[ids.ID]bool
+	busy    map[int64]time.Duration
+	counter *Counter
+	// Quiet suppresses accounting when true (used to exclude warm-up
+	// traffic from experiment measurements).
+	quiet bool
+}
+
+// New creates an empty simulated network.
+func New(opts Options) *Network {
+	if opts.Latency == nil {
+		opts.Latency = Fixed(time.Millisecond)
+	}
+	return &Network{
+		opts:    opts,
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+		nodes:   make(map[ids.ID]*nodeEnv),
+		down:    make(map[ids.ID]bool),
+		busy:    make(map[int64]time.Duration),
+		counter: newCounter(),
+	}
+}
+
+// AddNode registers a node and returns its environment. The handler may
+// be bound later via BindHandler to break construction cycles.
+func (n *Network) AddNode(id ids.ID) *nodeEnv {
+	if _, ok := n.nodes[id]; ok {
+		panic(fmt.Sprintf("simnet: duplicate node %s", id.Short()))
+	}
+	env := &nodeEnv{net: n, id: id, rng: rand.New(rand.NewSource(n.opts.Seed ^ int64(idSeed(id))))}
+	n.nodes[id] = env
+	return env
+}
+
+// RemoveNode permanently deletes a node; queued deliveries to it are
+// dropped on arrival.
+func (n *Network) RemoveNode(id ids.ID) {
+	delete(n.nodes, id)
+	delete(n.down, id)
+}
+
+// SetDown marks a node crashed (true) or recovered (false). Messages to
+// a down node are counted as sent but never delivered.
+func (n *Network) SetDown(id ids.ID, down bool) {
+	n.down[id] = down
+}
+
+// IsDown reports whether the node is currently marked down.
+func (n *Network) IsDown(id ids.ID) bool { return n.down[id] }
+
+// Counter returns the live message counter.
+func (n *Network) Counter() *Counter { return n.counter }
+
+// ResetCounter zeroes accounting, typically after cluster warm-up.
+func (n *Network) ResetCounter() {
+	n.counter = newCounter()
+}
+
+// SetQuiet enables or disables message accounting.
+func (n *Network) SetQuiet(q bool) { n.quiet = q }
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Duration { return n.now }
+
+// NodeIDs returns the identifiers of all registered nodes.
+func (n *Network) NodeIDs() []ids.ID {
+	out := make([]ids.ID, 0, len(n.nodes))
+	for id := range n.nodes {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Rand returns the network-level random source (for workload drivers).
+func (n *Network) Rand() *rand.Rand { return n.rng }
+
+// RTT estimates the round-trip time between two nodes by sampling the
+// latency model, excluding processing delay. Models with stable pairwise
+// bases (WAN) return stable values.
+func (n *Network) RTT(a, b ids.ID) time.Duration {
+	return n.opts.Latency.Latency(a, b, n.now, n.rng) + n.opts.Latency.Latency(b, a, n.now, n.rng)
+}
+
+// Schedule runs fn at now+d on the simulator goroutine.
+func (n *Network) Schedule(d time.Duration, fn func()) (cancel func()) {
+	if d < 0 {
+		d = 0
+	}
+	ev := &event{at: n.now + d, seq: n.seq, fn: fn}
+	n.seq++
+	heap.Push(&n.events, ev)
+	return func() { ev.fn = nil }
+}
+
+// Run processes events until the queue is empty or maxEvents events have
+// run (0 means unlimited). It returns the number of events processed.
+func (n *Network) Run(maxEvents int) int {
+	processed := 0
+	for n.events.Len() > 0 {
+		if maxEvents > 0 && processed >= maxEvents {
+			break
+		}
+		ev := heap.Pop(&n.events).(*event)
+		n.now = ev.at
+		if ev.fn != nil {
+			ev.fn()
+			processed++
+		}
+	}
+	return processed
+}
+
+// RunWhile processes events until cond returns false or the queue
+// drains. It returns the number of events processed.
+func (n *Network) RunWhile(cond func() bool) int {
+	processed := 0
+	for n.events.Len() > 0 && cond() {
+		ev := heap.Pop(&n.events).(*event)
+		n.now = ev.at
+		if ev.fn != nil {
+			ev.fn()
+			processed++
+		}
+	}
+	return processed
+}
+
+// RunFor advances virtual time by d, processing all events scheduled in
+// the window, and leaves now at the window's end.
+func (n *Network) RunFor(d time.Duration) {
+	n.RunUntil(n.now + d)
+}
+
+// RunUntil processes all events scheduled at or before t and sets the
+// clock to t.
+func (n *Network) RunUntil(t time.Duration) {
+	for n.events.Len() > 0 {
+		ev := n.events[0]
+		if ev.at > t {
+			break
+		}
+		heap.Pop(&n.events)
+		n.now = ev.at
+		if ev.fn != nil {
+			ev.fn()
+		}
+	}
+	n.now = t
+}
+
+// send implements message transmission between nodes.
+func (n *Network) send(from, to ids.ID, m any) {
+	if !n.quiet {
+		n.counter.Total++
+		n.counter.ByKind[KindOf(m)]++
+		n.counter.ByNode[from]++
+	}
+	if n.opts.Drop != nil && n.opts.Drop(from, to, m) {
+		return
+	}
+	lat := n.opts.Latency.Latency(from, to, n.now, n.rng)
+	if n.opts.Tap != nil {
+		n.opts.Tap(from, to, m, lat)
+	}
+	proc := n.opts.ProcDelay
+	if n.opts.ProcJitter > 0 {
+		proc += time.Duration(n.rng.Int63n(int64(n.opts.ProcJitter)))
+	}
+	deliverAt := n.now + lat + proc
+	if n.opts.SerializeProc && proc > 0 {
+		// The message waits for the receiver's CPU to finish earlier
+		// work, then occupies it for proc. CPUs may be shared between
+		// co-located instances (Emulab: 10 per machine).
+		cpu := int64(idSeed(to))
+		if n.opts.CPUOf != nil {
+			cpu = int64(n.opts.CPUOf(to))
+		}
+		arrival := n.now + lat
+		start := arrival
+		if b := n.busy[cpu]; b > start {
+			start = b
+		}
+		deliverAt = start + proc
+		n.busy[cpu] = deliverAt
+	}
+	n.Schedule(deliverAt-n.now, func() {
+		dst, ok := n.nodes[to]
+		if !ok || n.down[to] || dst.handler == nil {
+			return
+		}
+		if !n.quiet {
+			n.counter.RecvByNode[to]++
+		}
+		dst.handler.Handle(from, m)
+	})
+}
+
+// nodeEnv implements Env for one simulated node.
+type nodeEnv struct {
+	net     *Network
+	id      ids.ID
+	rng     *rand.Rand
+	handler Handler
+}
+
+var _ Env = (*nodeEnv)(nil)
+
+// BindHandler attaches the node's message handler.
+func (e *nodeEnv) BindHandler(h Handler) { e.handler = h }
+
+// Self returns the node's identifier.
+func (e *nodeEnv) Self() ids.ID { return e.id }
+
+// Send transmits m to another node.
+func (e *nodeEnv) Send(to ids.ID, m any) {
+	if e.net.down[e.id] {
+		return // a crashed node cannot send
+	}
+	e.net.send(e.id, to, m)
+}
+
+// After schedules fn on the virtual clock.
+func (e *nodeEnv) After(d time.Duration, fn func()) (cancel func()) {
+	return e.net.Schedule(d, func() {
+		if e.net.down[e.id] {
+			return
+		}
+		fn()
+	})
+}
+
+// Now returns the current virtual time.
+func (e *nodeEnv) Now() time.Duration { return e.net.now }
+
+// Rand returns the node's deterministic random source.
+func (e *nodeEnv) Rand() *rand.Rand { return e.rng }
+
+// idSeed derives a well-mixed 64-bit seed from all 16 identifier
+// bytes (FNV-1a).
+func idSeed(id ids.ID) uint64 {
+	s := uint64(14695981039346656037)
+	for _, b := range id {
+		s ^= uint64(b)
+		s *= 1099511628211
+	}
+	return s
+}
+
+// event is one scheduled callback.
+type event struct {
+	at  time.Duration
+	seq int64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

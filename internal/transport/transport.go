@@ -1,0 +1,380 @@
+// Package transport runs Moara nodes over real TCP, turning the
+// event-driven core into a deployable agent. Identifiers derive from
+// listen addresses (id = MD5(addr)), so a static roster of addresses
+// fully determines the overlay; routing state is bootstrapped from the
+// roster the same way the simulator's oracle does.
+//
+// Concurrency model: the core node remains single-threaded — every
+// entry point (incoming messages, timers, local queries) serializes
+// through one mutex, preserving the simulator's execution semantics.
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/moara/moara/internal/aggregate"
+	"github.com/moara/moara/internal/baseline"
+	"github.com/moara/moara/internal/core"
+	"github.com/moara/moara/internal/ids"
+	"github.com/moara/moara/internal/pastry"
+	"github.com/moara/moara/internal/simnet"
+	"github.com/moara/moara/internal/value"
+)
+
+// RegisterGob registers every wire type crossing the TCP transport.
+// Call once per process before creating nodes; it is idempotent via
+// sync.Once.
+func RegisterGob() {
+	gobOnce.Do(func() {
+		gob.Register(pastry.RouteMsg{})
+		gob.Register(pastry.JoinRequest{})
+		gob.Register(pastry.JoinReply{})
+		gob.Register(pastry.Announce{})
+		gob.Register(pastry.AnnounceAck{})
+		gob.Register(pastry.Heartbeat{})
+		gob.Register(core.SubQueryMsg{})
+		gob.Register(core.QueryMsg{})
+		gob.Register(core.ResponseMsg{})
+		gob.Register(core.StatusMsg{})
+		gob.Register(core.ProbeMsg{})
+		gob.Register(core.ProbeRespMsg{})
+		gob.Register(baseline.CentralQueryMsg{})
+		gob.Register(baseline.CentralRespMsg{})
+		gob.Register(&aggregate.SumState{})
+		gob.Register(&aggregate.CountState{})
+		gob.Register(&aggregate.ExtremeState{})
+		gob.Register(&aggregate.AvgState{})
+		gob.Register(&aggregate.TopKState{})
+		gob.Register(&aggregate.EnumState{})
+		gob.Register(&aggregate.StdState{})
+		gob.Register(value.Value{})
+	})
+}
+
+var gobOnce sync.Once
+
+// envelope frames one message on the wire.
+type envelope struct {
+	FromAddr string
+	Payload  any
+}
+
+// IDOf derives a node's overlay identifier from its listen address.
+func IDOf(addr string) ids.ID { return ids.FromKey(addr) }
+
+// Options configure a TCP node.
+type Options struct {
+	// Node configures the Moara core.
+	Node core.Config
+	// Overlay configures the Pastry layer.
+	Overlay pastry.Config
+	// DialTimeout bounds outgoing connection attempts (default 5s).
+	DialTimeout time.Duration
+}
+
+// Node is one Moara agent listening on a TCP address.
+type Node struct {
+	addr   string
+	id     ids.ID
+	roster map[ids.ID]string
+
+	mu    sync.Mutex
+	core  *core.Node
+	start time.Time
+	rng   *rand.Rand
+
+	ln       net.Listener
+	opts     Options
+	connMu   sync.Mutex
+	conns    map[string]*outConn
+	accepted map[net.Conn]bool
+
+	closed  chan struct{}
+	closeMu sync.Once
+	wg      sync.WaitGroup
+}
+
+type outConn struct {
+	mu  sync.Mutex
+	enc *gob.Encoder
+	c   net.Conn
+}
+
+// Listen starts an agent on addr with the given peer roster (all
+// cluster addresses, including addr itself). The overlay is
+// bootstrapped from the roster.
+func Listen(addr string, roster []string, opts Options) (*Node, error) {
+	RegisterGob()
+	if opts.DialTimeout == 0 {
+		opts.DialTimeout = 5 * time.Second
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	// The caller may pass ":0"; use the resolved address as identity.
+	resolved := ln.Addr().String()
+	n := &Node{
+		addr:     resolved,
+		id:       IDOf(resolved),
+		roster:   make(map[ids.ID]string, len(roster)),
+		start:    time.Now(),
+		rng:      rand.New(rand.NewSource(int64(time.Now().UnixNano()))),
+		ln:       ln,
+		opts:     opts,
+		conns:    make(map[string]*outConn),
+		accepted: make(map[net.Conn]bool),
+		closed:   make(chan struct{}),
+	}
+	n.roster[n.id] = resolved
+	n.core = core.NewNode(nodeEnv{n}, opts.Node, opts.Overlay)
+	n.ApplyRoster(roster)
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the resolved listen address.
+func (n *Node) Addr() string { return n.addr }
+
+// ID returns the node's overlay identifier.
+func (n *Node) ID() ids.ID { return n.id }
+
+// Core exposes the underlying Moara node. Callers must use Do to
+// access it safely.
+func (n *Node) Core() *core.Node { return n.core }
+
+// Do runs fn with exclusive access to the core node — the only safe
+// way to touch the attribute store or issue queries.
+func (n *Node) Do(fn func(c *core.Node)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	fn(n.core)
+}
+
+// ApplyRoster installs peers (listen addresses) into the address book
+// and overlay routing state.
+func (n *Node) ApplyRoster(roster []string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, addr := range roster {
+		if addr == "" || addr == n.addr {
+			continue
+		}
+		id := IDOf(addr)
+		n.roster[id] = addr
+		n.core.Overlay().Install(id)
+	}
+}
+
+// SetAttr writes an attribute on the local agent.
+func (n *Node) SetAttr(name string, v value.Value) {
+	n.Do(func(c *core.Node) { c.Store().Set(name, v) })
+}
+
+// Query runs a query-language string from this node, blocking until
+// the result arrives or timeout elapses.
+func (n *Node) Query(text string, timeout time.Duration) (core.Result, error) {
+	req, err := core.ParseRequest(text)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return n.Execute(req, timeout)
+}
+
+// Execute runs a parsed request, blocking until completion or timeout.
+func (n *Node) Execute(req core.Request, timeout time.Duration) (core.Result, error) {
+	type outcome struct {
+		res core.Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	n.Do(func(c *core.Node) {
+		c.Execute(req, func(r core.Result, e error) {
+			ch <- outcome{r, e}
+		})
+	})
+	select {
+	case out := <-ch:
+		return out.res, out.err
+	case <-time.After(timeout):
+		return core.Result{}, errors.New("transport: query timed out")
+	case <-n.closed:
+		return core.Result{}, errors.New("transport: node closed")
+	}
+}
+
+// Close shuts the agent down and waits for its goroutines.
+func (n *Node) Close() error {
+	n.closeMu.Do(func() {
+		close(n.closed)
+		n.ln.Close()
+		n.connMu.Lock()
+		for _, oc := range n.conns {
+			oc.c.Close()
+		}
+		for c := range n.accepted {
+			c.Close()
+		}
+		n.connMu.Unlock()
+		n.mu.Lock()
+		n.core.Close()
+		n.mu.Unlock()
+	})
+	n.wg.Wait()
+	return nil
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			select {
+			case <-n.closed:
+				return
+			default:
+				continue
+			}
+		}
+		n.connMu.Lock()
+		n.accepted[conn] = true
+		n.connMu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+func (n *Node) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		conn.Close()
+		n.connMu.Lock()
+		delete(n.accepted, conn)
+		n.connMu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		from := IDOf(env.FromAddr)
+		n.mu.Lock()
+		if _, known := n.roster[from]; !known {
+			n.roster[from] = env.FromAddr
+			n.core.Overlay().Install(from)
+		}
+		n.core.Handle(from, env.Payload)
+		n.mu.Unlock()
+		select {
+		case <-n.closed:
+			return
+		default:
+		}
+	}
+}
+
+// send transmits one message, dialing (and caching) connections lazily.
+// Failures are silent, like UDP loss; Moara's timeouts handle them.
+func (n *Node) send(toAddr string, m any) {
+	oc, err := n.conn(toAddr)
+	if err != nil {
+		return
+	}
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	if err := oc.enc.Encode(envelope{FromAddr: n.addr, Payload: m}); err != nil {
+		oc.c.Close()
+		n.connMu.Lock()
+		if n.conns[toAddr] == oc {
+			delete(n.conns, toAddr)
+		}
+		n.connMu.Unlock()
+	}
+}
+
+func (n *Node) conn(addr string) (*outConn, error) {
+	n.connMu.Lock()
+	if oc, ok := n.conns[addr]; ok {
+		n.connMu.Unlock()
+		return oc, nil
+	}
+	n.connMu.Unlock()
+	c, err := net.DialTimeout("tcp", addr, n.opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	oc := &outConn{enc: gob.NewEncoder(c), c: c}
+	n.connMu.Lock()
+	defer n.connMu.Unlock()
+	if existing, ok := n.conns[addr]; ok {
+		c.Close()
+		return existing, nil
+	}
+	n.conns[addr] = oc
+	return oc, nil
+}
+
+// nodeEnv adapts a transport Node to the simnet.Env interface the core
+// is written against.
+type nodeEnv struct {
+	n *Node
+}
+
+var _ simnet.Env = nodeEnv{}
+
+// Self returns the node's identifier.
+func (e nodeEnv) Self() ids.ID { return e.n.id }
+
+// Send transmits m to the node with identifier to, resolving the
+// address through the roster. Unknown destinations are dropped.
+func (e nodeEnv) Send(to ids.ID, m any) {
+	if to == e.n.id {
+		// Loopback: handle asynchronously to avoid lock recursion.
+		go func() {
+			e.n.mu.Lock()
+			defer e.n.mu.Unlock()
+			select {
+			case <-e.n.closed:
+				return
+			default:
+			}
+			e.n.core.Handle(to, m)
+		}()
+		return
+	}
+	addr, ok := e.n.roster[to]
+	if !ok {
+		return
+	}
+	// Network I/O happens off the core lock.
+	go e.n.send(addr, m)
+}
+
+// After schedules fn on the real clock, serialized with the core.
+func (e nodeEnv) After(d time.Duration, fn func()) (cancel func()) {
+	t := time.AfterFunc(d, func() {
+		e.n.mu.Lock()
+		defer e.n.mu.Unlock()
+		select {
+		case <-e.n.closed:
+			return
+		default:
+		}
+		fn()
+	})
+	return func() { t.Stop() }
+}
+
+// Now returns the elapsed wall-clock time since the node started.
+func (e nodeEnv) Now() time.Duration { return time.Since(e.n.start) }
+
+// Rand returns the node's random source.
+func (e nodeEnv) Rand() *rand.Rand { return e.n.rng }

@@ -1,0 +1,124 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/moara/moara/internal/core"
+	"github.com/moara/moara/internal/value"
+)
+
+// startCluster boots n agents on loopback ephemeral ports and exchanges
+// rosters.
+func startCluster(t *testing.T, n int, cfg core.Config) []*Node {
+	t.Helper()
+	nodes := make([]*Node, 0, n)
+	for i := 0; i < n; i++ {
+		nd, err := Listen("127.0.0.1:0", nil, Options{Node: cfg})
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		nodes = append(nodes, nd)
+	}
+	roster := make([]string, 0, n)
+	for _, nd := range nodes {
+		roster = append(roster, nd.Addr())
+	}
+	for _, nd := range nodes {
+		nd.ApplyRoster(roster)
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	})
+	return nodes
+}
+
+func TestTCPClusterGlobalSum(t *testing.T) {
+	nodes := startCluster(t, 8, core.Config{})
+	want := int64(0)
+	for i, nd := range nodes {
+		nd.SetAttr("load", value.Int(int64(i+1)))
+		want += int64(i + 1)
+	}
+	res, err := nodes[0].Query("sum(load)", 10*time.Second)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	got, _ := res.Agg.Value.AsInt()
+	if got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+	if res.Contributors != int64(len(nodes)) {
+		t.Fatalf("contributors = %d, want %d", res.Contributors, len(nodes))
+	}
+}
+
+func TestTCPClusterGroupQueries(t *testing.T) {
+	nodes := startCluster(t, 10, core.Config{})
+	for i, nd := range nodes {
+		nd.SetAttr("svc", value.Bool(i%2 == 0))
+		nd.SetAttr("dc", value.Str(fmt.Sprintf("dc%d", i%3)))
+		nd.SetAttr("cpu", value.Float(float64(10*i)))
+	}
+	res, err := nodes[1].Query("count(*) where svc = true", 10*time.Second)
+	if err != nil {
+		t.Fatalf("count: %v", err)
+	}
+	if got, _ := res.Agg.Value.AsInt(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	res, err = nodes[2].Query("max(cpu) where svc = true and dc = dc0", 10*time.Second)
+	if err != nil {
+		t.Fatalf("composite: %v", err)
+	}
+	f, _ := res.Agg.Value.AsFloat()
+	// Eligible: even i with i%3==0 -> i in {0, 6}; max cpu 60.
+	if f != 60 {
+		t.Fatalf("max = %v, want 60", f)
+	}
+}
+
+func TestTCPRepeatedQueriesPrune(t *testing.T) {
+	nodes := startCluster(t, 6, core.Config{})
+	for i, nd := range nodes {
+		nd.SetAttr("g", value.Bool(i == 0))
+	}
+	for round := 0; round < 5; round++ {
+		res, err := nodes[3].Query("count(*) where g = true", 10*time.Second)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if got, _ := res.Agg.Value.AsInt(); got != 1 {
+			t.Fatalf("round %d: count = %d, want 1", round, got)
+		}
+	}
+}
+
+func TestTCPQueryTimeoutOnBadRequest(t *testing.T) {
+	nodes := startCluster(t, 3, core.Config{})
+	if _, err := nodes[0].Query("bogus query text", time.Second); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestValueGobRoundTrip(t *testing.T) {
+	vals := []value.Value{
+		value.Int(-9), value.Float(3.25), value.Str("hello"), value.Bool(true), {},
+	}
+	for _, v := range vals {
+		data, err := v.GobEncode()
+		if err != nil {
+			t.Fatalf("encode %v: %v", v, err)
+		}
+		var back value.Value
+		if err := back.GobDecode(data); err != nil {
+			t.Fatalf("decode %v: %v", v, err)
+		}
+		if back.Kind() != v.Kind() || (v.IsValid() && !value.Equal(v, back)) {
+			t.Fatalf("round trip %v -> %v", v, back)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package value
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// wireValue is the gob representation of a Value; Value itself keeps
+// its fields unexported to preserve immutability.
+type wireValue struct {
+	Kind Kind
+	I    int64
+	F    float64
+	S    string
+	B    bool
+}
+
+// GobEncode implements gob.GobEncoder.
+func (v Value) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	w := wireValue{Kind: v.kind, I: v.i, F: v.f, S: v.s, B: v.b}
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, fmt.Errorf("value: gob encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (v *Value) GobDecode(data []byte) error {
+	var w wireValue
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("value: gob decode: %w", err)
+	}
+	*v = Value{kind: w.Kind, i: w.I, f: w.F, s: w.S, b: w.B}
+	return nil
+}
+
+var (
+	_ gob.GobEncoder = Value{}
+	_ gob.GobDecoder = (*Value)(nil)
+)

@@ -1,0 +1,135 @@
+package value
+
+import (
+	"testing"
+)
+
+func TestParseLiterals(t *testing.T) {
+	tests := []struct {
+		in   string
+		want Value
+	}{
+		{"42", Int(42)},
+		{"-7", Int(-7)},
+		{"3.5", Float(3.5)},
+		{"-0.25", Float(-0.25)},
+		{"true", Bool(true)},
+		{"False", Bool(false)},
+		{"linux", Str("linux")},
+		{`"hello world"`, Str("hello world")},
+		{"'x'", Str("x")},
+		{"1e3", Float(1000)},
+	}
+	for _, tc := range tests {
+		got, err := Parse(tc.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.in, err)
+			continue
+		}
+		if !Equal(got, tc.want) || got.Kind() != tc.want.Kind() {
+			t.Errorf("Parse(%q) = %v (%s), want %v (%s)", tc.in, got, got.Kind(), tc.want, tc.want.Kind())
+		}
+	}
+	if _, err := Parse(""); err == nil {
+		t.Error("Parse empty should fail")
+	}
+}
+
+func TestCompareNumericCrossKind(t *testing.T) {
+	c, err := Compare(Int(3), Float(3.0))
+	if err != nil || c != 0 {
+		t.Errorf("Compare(3, 3.0) = %d, %v", c, err)
+	}
+	c, err = Compare(Int(3), Float(3.5))
+	if err != nil || c != -1 {
+		t.Errorf("Compare(3, 3.5) = %d, %v", c, err)
+	}
+	c, err = Compare(Float(4.1), Int(4))
+	if err != nil || c != 1 {
+		t.Errorf("Compare(4.1, 4) = %d, %v", c, err)
+	}
+}
+
+func TestCompareLargeIntsExact(t *testing.T) {
+	a := Int(1<<60 + 1)
+	b := Int(1 << 60)
+	c, err := Compare(a, b)
+	if err != nil || c != 1 {
+		t.Errorf("large int compare = %d, %v (float rounding?)", c, err)
+	}
+}
+
+func TestCompareIncompatible(t *testing.T) {
+	pairs := [][2]Value{
+		{Str("x"), Int(1)},
+		{Bool(true), Int(1)},
+		{Str("x"), Bool(false)},
+		{{}, Int(1)},
+	}
+	for _, p := range pairs {
+		if _, err := Compare(p[0], p[1]); err == nil {
+			t.Errorf("Compare(%v, %v) should fail", p[0], p[1])
+		}
+	}
+}
+
+func TestCompareStringsAndBools(t *testing.T) {
+	if c, _ := Compare(Str("abc"), Str("abd")); c != -1 {
+		t.Error("string compare broken")
+	}
+	if c, _ := Compare(Bool(false), Bool(true)); c != -1 {
+		t.Error("bool ordering broken")
+	}
+	if !Equal(Bool(true), Bool(true)) {
+		t.Error("bool equality broken")
+	}
+}
+
+func TestAdd(t *testing.T) {
+	v, err := Add(Int(2), Int(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i, _ := v.AsInt(); i != 5 || v.Kind() != KindInt {
+		t.Errorf("2+3 = %v", v)
+	}
+	v, err = Add(Int(2), Float(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := v.AsFloat(); f != 2.5 || v.Kind() != KindFloat {
+		t.Errorf("2+0.5 = %v", v)
+	}
+	if _, err = Add(Str("a"), Int(1)); err == nil {
+		t.Error("Add string should fail")
+	}
+}
+
+func TestStringRoundTripThroughParse(t *testing.T) {
+	vals := []Value{Int(-3), Float(2.75), Bool(true), Str("web server")}
+	for _, v := range vals {
+		got, err := Parse(v.String())
+		if err != nil {
+			t.Errorf("reparse %s: %v", v, err)
+			continue
+		}
+		if !Equal(got, v) {
+			t.Errorf("round trip %s -> %s", v, got)
+		}
+	}
+}
+
+func TestAsAccessors(t *testing.T) {
+	if _, ok := Int(1).AsString(); ok {
+		t.Error("Int.AsString should fail")
+	}
+	if _, ok := Str("s").AsFloat(); ok {
+		t.Error("Str.AsFloat should fail")
+	}
+	if f, ok := Int(7).AsFloat(); !ok || f != 7 {
+		t.Error("Int.AsFloat should convert")
+	}
+	if (Value{}).IsValid() {
+		t.Error("zero Value should be invalid")
+	}
+}

@@ -1,0 +1,161 @@
+// Package workload generates the event schedules and synthetic traces
+// driving the experiments: interleaved query/churn event streams
+// (Figs. 9-10), timed group-membership churn (Figs. 12(b), 13(a)), a
+// PlanetLab-style slice-size distribution (Fig. 2(a)), and an HP
+// utility-computing job trace (Fig. 2(b)). The trace generators stand in
+// for the paper's proprietary CoMon/CoTop snapshot and HP datacenter
+// trace; they are tuned to match the published shapes.
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// EventKind distinguishes schedule entries.
+type EventKind uint8
+
+const (
+	// EventQuery injects one query.
+	EventQuery EventKind = iota
+	// EventChurn toggles group membership of a batch of nodes.
+	EventChurn
+)
+
+// Schedule is a randomized interleaving of query and churn events, the
+// Fig. 9/10 workload: Queries+Churns events total, shuffled.
+func Schedule(rng *rand.Rand, queries, churns int) []EventKind {
+	out := make([]EventKind, 0, queries+churns)
+	for i := 0; i < queries; i++ {
+		out = append(out, EventQuery)
+	}
+	for i := 0; i < churns; i++ {
+		out = append(out, EventChurn)
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// ToggleBatch picks m distinct node indices at random; the caller flips
+// the group attribute of each (the paper's churn event of burst size m).
+func ToggleBatch(rng *rand.Rand, n, m int) []int {
+	if m > n {
+		m = n
+	}
+	return rng.Perm(n)[:m]
+}
+
+// ReplaceBatch implements the Fig. 12(b) churn model: every interval,
+// churn nodes inside the group leave and churn nodes outside join.
+// It returns indices to remove from and add to the group.
+func ReplaceBatch(rng *rand.Rand, members []int, nonMembers []int, churn int) (leave, join []int) {
+	if churn > len(members) {
+		churn = len(members)
+	}
+	if churn > len(nonMembers) {
+		churn = len(nonMembers)
+	}
+	lp := rng.Perm(len(members))[:churn]
+	jp := rng.Perm(len(nonMembers))[:churn]
+	leave = make([]int, churn)
+	join = make([]int, churn)
+	for i := 0; i < churn; i++ {
+		leave[i] = members[lp[i]]
+		join[i] = nonMembers[jp[i]]
+	}
+	return leave, join
+}
+
+// SliceSizes synthesizes the Fig. 2(a) distribution: nSlices PlanetLab
+// slices with Zipf-like assigned sizes capped at maxNodes, such that
+// roughly half the slices have fewer than 10 nodes, plus an "in use"
+// size per slice that is a thinned subset of the assignment.
+type SliceUsage struct {
+	// Assigned is the number of nodes assigned to the slice.
+	Assigned int
+	// InUse is the number of nodes actively used (>1 process).
+	InUse int
+}
+
+// SliceSizes returns slice usage sorted descending by assignment, rank
+// order matching the paper's plot.
+func SliceSizes(rng *rand.Rand, nSlices, maxNodes int) []SliceUsage {
+	out := make([]SliceUsage, nSlices)
+	// Zipf over ranks: size(rank) = maxNodes / rank^s, s tuned so the
+	// median lands near 10 nodes for 400 slices / 400-node systems
+	// (the paper: ~50% of slices under 10 assigned nodes).
+	const s = 0.72
+	for r := 0; r < nSlices; r++ {
+		size := float64(maxNodes) / math.Pow(float64(r+1), s)
+		jitter := 0.75 + 0.5*rng.Float64()
+		a := int(size*jitter + 0.5)
+		if a < 1 {
+			a = 1
+		}
+		if a > maxNodes {
+			a = maxNodes
+		}
+		// Active usage is a thinned subset; many assigned slices are
+		// mostly idle (the paper: 100 of 170 active slices under 10).
+		inUse := int(float64(a) * (0.1 + 0.5*rng.Float64()))
+		if inUse > a {
+			inUse = a
+		}
+		out[r] = SliceUsage{Assigned: a, InUse: inUse}
+	}
+	// Sort by assignment descending (rank order).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Assigned > out[j-1].Assigned; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// JobPhase is one plateau of a rendering job's machine usage.
+type JobPhase struct {
+	// StartMin is the phase start in minutes from trace begin.
+	StartMin int
+	// Machines is the number of machines used during the phase.
+	Machines int
+}
+
+// RenderingJob synthesizes one Fig. 2(b) batch job: usage ramps up in
+// bursts, plateaus, and collapses, over roughly durMin minutes with a
+// peak of peakMachines.
+func RenderingJob(rng *rand.Rand, startMin, durMin, peakMachines int) []JobPhase {
+	var phases []JobPhase
+	t := startMin
+	cur := 0
+	end := startMin + durMin
+	for t < end {
+		// Bursty reallocation every 20-90 minutes.
+		t += 20 + rng.Intn(70)
+		if t >= end {
+			break
+		}
+		switch rng.Intn(4) {
+		case 0:
+			cur = 0 // between waves
+		case 1:
+			cur = peakMachines / 2
+		default:
+			cur = peakMachines/2 + rng.Intn(peakMachines/2+1)
+		}
+		phases = append(phases, JobPhase{StartMin: t, Machines: cur})
+	}
+	phases = append(phases, JobPhase{StartMin: end, Machines: 0})
+	return phases
+}
+
+// MachinesAt evaluates a job trace at minute m.
+func MachinesAt(phases []JobPhase, m int) int {
+	cur := 0
+	for _, p := range phases {
+		if p.StartMin > m {
+			break
+		}
+		cur = p.Machines
+	}
+	return cur
+}

@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestScheduleComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := Schedule(rng, 30, 70)
+	if len(s) != 100 {
+		t.Fatalf("len = %d", len(s))
+	}
+	q, c := 0, 0
+	for _, e := range s {
+		switch e {
+		case EventQuery:
+			q++
+		case EventChurn:
+			c++
+		}
+	}
+	if q != 30 || c != 70 {
+		t.Fatalf("composition %d:%d", q, c)
+	}
+}
+
+func TestToggleBatchDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	b := ToggleBatch(rng, 50, 20)
+	if len(b) != 20 {
+		t.Fatalf("len = %d", len(b))
+	}
+	seen := make(map[int]bool)
+	for _, i := range b {
+		if i < 0 || i >= 50 || seen[i] {
+			t.Fatalf("bad batch %v", b)
+		}
+		seen[i] = true
+	}
+	if got := ToggleBatch(rng, 5, 99); len(got) != 5 {
+		t.Fatalf("overlarge batch should clamp, got %d", len(got))
+	}
+}
+
+func TestReplaceBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	members := []int{1, 2, 3, 4, 5}
+	outside := []int{10, 11, 12, 13}
+	leave, join := ReplaceBatch(rng, members, outside, 3)
+	if len(leave) != 3 || len(join) != 3 {
+		t.Fatalf("sizes %d/%d", len(leave), len(join))
+	}
+	inSet := func(s []int, v int) bool {
+		for _, x := range s {
+			if x == v {
+				return true
+			}
+		}
+		return false
+	}
+	for _, l := range leave {
+		if !inSet(members, l) {
+			t.Fatalf("leaver %d not a member", l)
+		}
+	}
+	for _, j := range join {
+		if !inSet(outside, j) {
+			t.Fatalf("joiner %d not an outsider", j)
+		}
+	}
+	// Clamp to the smaller side.
+	leave, join = ReplaceBatch(rng, members, outside, 99)
+	if len(leave) != 4 || len(join) != 4 {
+		t.Fatalf("clamp sizes %d/%d", len(leave), len(join))
+	}
+}
+
+func TestSliceSizesShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	slices := SliceSizes(rng, 400, 450)
+	if len(slices) != 400 {
+		t.Fatalf("len = %d", len(slices))
+	}
+	// Rank order descending by assignment.
+	for i := 1; i < len(slices); i++ {
+		if slices[i].Assigned > slices[i-1].Assigned {
+			t.Fatalf("not rank-ordered at %d", i)
+		}
+	}
+	under10 := 0
+	for _, s := range slices {
+		if s.InUse > s.Assigned {
+			t.Fatalf("in-use exceeds assignment: %+v", s)
+		}
+		if s.Assigned < 10 {
+			under10++
+		}
+	}
+	// Paper: ~50% of slices under 10 assigned nodes.
+	frac := float64(under10) / float64(len(slices))
+	if frac < 0.35 || frac > 0.7 {
+		t.Fatalf("under-10 fraction = %v", frac)
+	}
+}
+
+func TestRenderingJobEnvelope(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	job := RenderingJob(rng, 100, 1000, 160)
+	if len(job) == 0 {
+		t.Fatal("empty job")
+	}
+	for _, p := range job {
+		if p.Machines < 0 || p.Machines > 160 {
+			t.Fatalf("machines out of range: %+v", p)
+		}
+		if p.StartMin < 100 || p.StartMin > 1100 {
+			t.Fatalf("phase outside window: %+v", p)
+		}
+	}
+	if MachinesAt(job, 0) != 0 {
+		t.Fatal("usage before job start should be 0")
+	}
+	if MachinesAt(job, 5000) != 0 {
+		t.Fatal("usage after job end should be 0")
+	}
+}

@@ -1,0 +1,221 @@
+// Package moara is the public API of the Moara group-based querying
+// system (Ko et al., MIDDLEWARE 2008): scalable one-shot aggregation
+// queries over dynamically defined groups of nodes.
+//
+// A query is a triple (query-attribute, aggregation function,
+// group-predicate), written in a small query language:
+//
+//	count(*) where service_x = true
+//	avg(mem_util) where service_x = true and apache = true
+//	top3(load) where (slice = cs101 or slice = cs202) and cpu_util < 90
+//
+// Two deployment forms are provided:
+//
+//   - SimCluster: an in-process simulated deployment on a virtual
+//     clock — instant to boot, deterministic, scales to tens of
+//     thousands of nodes. This is what the examples and the paper's
+//     experiment harness (cmd/moara-bench) use.
+//   - Agent: a real TCP daemon (one per host) forming a Moara overlay
+//     from a static roster; see cmd/moara-agent.
+package moara
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/moara/moara/internal/cluster"
+	"github.com/moara/moara/internal/core"
+	"github.com/moara/moara/internal/ids"
+	"github.com/moara/moara/internal/simnet"
+	"github.com/moara/moara/internal/transport"
+	"github.com/moara/moara/internal/value"
+)
+
+// Request is a parsed query (see ParseRequest).
+type Request = core.Request
+
+// Result is a completed query with planning statistics.
+type Result = core.Result
+
+// Value is a dynamically typed attribute value.
+type Value = value.Value
+
+// Int builds an integer attribute value.
+func Int(v int64) Value { return value.Int(v) }
+
+// Float builds a floating-point attribute value.
+func Float(v float64) Value { return value.Float(v) }
+
+// Str builds a string attribute value.
+func Str(v string) Value { return value.Str(v) }
+
+// Bool builds a boolean attribute value.
+func Bool(v bool) Value { return value.Bool(v) }
+
+// ParseRequest parses query-language text:
+//
+//	[select] <agg>(<attr>) [where <predicate>]
+//
+// with agg ∈ {sum, count, min, max, avg, topN, enum} and predicates
+// composed from (attr op value) terms with and/or/not and parentheses.
+func ParseRequest(text string) (Request, error) {
+	return core.ParseRequest(text)
+}
+
+// Option configures a SimCluster.
+type Option func(*options)
+
+type options struct {
+	seed      int64
+	cl        cluster.Options
+	nodeCfg   core.Config
+	bootstrap cluster.Bootstrap
+}
+
+// WithSeed fixes the cluster's random seed (default 1).
+func WithSeed(seed int64) Option {
+	return func(o *options) { o.seed = seed }
+}
+
+// WithThreshold sets the separate-query-plane threshold (§5 of the
+// paper; default 2, 1 disables the SQP).
+func WithThreshold(t int) Option {
+	return func(o *options) { o.nodeCfg.Threshold = t }
+}
+
+// WithNodeConfig replaces the whole per-node configuration.
+func WithNodeConfig(cfg core.Config) Option {
+	return func(o *options) { o.nodeCfg = cfg }
+}
+
+// WithLANModel simulates a datacenter LAN with per-message processing
+// cost and shared CPUs, like the paper's Emulab testbed.
+func WithLANModel() Option {
+	return func(o *options) {
+		o.cl.Latency = simnet.LAN(simnet.LANConfig{})
+		o.cl.ProcDelay = 800 * time.Microsecond
+		o.cl.ProcJitter = 400 * time.Microsecond
+		o.cl.SerializeProc = true
+		o.cl.InstancesPerMachine = 10
+	}
+}
+
+// WithWANModel simulates a PlanetLab-style wide-area network with
+// heavy-tailed latencies and intermittently slow straggler nodes.
+// Child and query timeouts are raised to tolerate stragglers (the
+// paper runs its PlanetLab experiments without query timeouts).
+func WithWANModel() Option {
+	return func(o *options) {
+		o.cl.Latency = simnet.WAN(simnet.WANConfig{Seed: o.seed})
+		o.cl.ProcDelay = 500 * time.Microsecond
+		o.cl.ProcJitter = 500 * time.Microsecond
+		o.cl.SerializeProc = true
+		if o.nodeCfg.ChildTimeout == 0 {
+			o.nodeCfg.ChildTimeout = 90 * time.Second
+		}
+		if o.nodeCfg.QueryTimeout == 0 {
+			o.nodeCfg.QueryTimeout = 240 * time.Second
+		}
+	}
+}
+
+// WithProtocolBootstrap joins nodes through the real Pastry handshake
+// instead of oracle-filled routing tables.
+func WithProtocolBootstrap() Option {
+	return func(o *options) { o.bootstrap = cluster.BootstrapProtocol }
+}
+
+// SimCluster is an in-process simulated Moara deployment.
+type SimCluster struct {
+	c *cluster.Cluster
+}
+
+// NewSimCluster boots n simulated nodes, ready to query.
+func NewSimCluster(n int, opts ...Option) *SimCluster {
+	o := options{seed: 1}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	o.cl.N = n
+	o.cl.Seed = o.seed
+	o.cl.Node = o.nodeCfg
+	o.cl.Bootstrap = o.bootstrap
+	return &SimCluster{c: cluster.New(o.cl)}
+}
+
+// Size returns the number of nodes.
+func (s *SimCluster) Size() int { return len(s.c.Nodes) }
+
+// SetAttr writes an attribute on node i's agent (the monitoring hook
+// of §3.1).
+func (s *SimCluster) SetAttr(i int, name string, v Value) {
+	s.c.Nodes[i].Store().Set(name, v)
+}
+
+// Attr reads node i's attribute.
+func (s *SimCluster) Attr(i int, name string) Value {
+	return s.c.Nodes[i].Store().Get(name)
+}
+
+// Query parses and runs a query from node i, driving the simulation
+// until the answer arrives. Latency is reported in virtual time via
+// Result.Stats.
+func (s *SimCluster) Query(i int, text string) (Result, error) {
+	return s.c.ExecuteText(i, text)
+}
+
+// Execute runs a parsed request from node i.
+func (s *SimCluster) Execute(i int, req Request) (Result, error) {
+	return s.c.Execute(i, req)
+}
+
+// RunFor advances virtual time (status propagation, tree adaptation).
+func (s *SimCluster) RunFor(d time.Duration) { s.c.RunFor(d) }
+
+// Messages reports total Moara-layer messages since the last reset.
+func (s *SimCluster) Messages() int64 { return s.c.MoaraMessages() }
+
+// ResetMessageCounter zeroes accounting.
+func (s *SimCluster) ResetMessageCounter() { s.c.Net.ResetCounter() }
+
+// NodeID returns node i's overlay identifier string.
+func (s *SimCluster) NodeID(i int) string { return s.c.IDs[i].String() }
+
+// Trees snapshots node i's per-group tree state (§4/§5 variables) for
+// inspection.
+func (s *SimCluster) Trees(i int) []core.TreeInfo { return s.c.Nodes[i].Trees() }
+
+// IndexOfShort resolves an 8-hex-digit short node ID (as printed in
+// enum/top-k results) back to a node index, or -1.
+func (s *SimCluster) IndexOfShort(short string) int {
+	for i, id := range s.c.IDs {
+		if id.Short() == short {
+			return i
+		}
+	}
+	return -1
+}
+
+// Agent is a Moara node on a real TCP transport.
+type Agent = transport.Node
+
+// AgentOptions configure ListenAgent.
+type AgentOptions = transport.Options
+
+// ListenAgent starts a TCP agent on addr with the given cluster roster
+// (every agent's listen address, including this one's).
+func ListenAgent(addr string, roster []string, opts AgentOptions) (*Agent, error) {
+	return transport.Listen(addr, roster, opts)
+}
+
+// FormatEntries renders list-valued results (enum/top-k) with short
+// node identifiers.
+func FormatEntries(res Result) []string {
+	out := make([]string, 0, len(res.Agg.Entries))
+	for _, e := range res.Agg.Entries {
+		out = append(out, fmt.Sprintf("%s=%s", shortID(e.Node), e.Value))
+	}
+	return out
+}
+
+func shortID(id ids.ID) string { return id.Short() }

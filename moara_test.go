@@ -1,0 +1,157 @@
+package moara
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSimClusterQuickstart(t *testing.T) {
+	c := NewSimCluster(64, WithSeed(5))
+	if c.Size() != 64 {
+		t.Fatalf("size = %d", c.Size())
+	}
+	for i := 0; i < c.Size(); i++ {
+		c.SetAttr(i, "cpu", Float(float64(i)))
+		c.SetAttr(i, "apache", Bool(i%2 == 0))
+	}
+	res, err := c.Query(0, "count(*) where apache = true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := res.Agg.Value.AsInt(); v != 32 {
+		t.Fatalf("count = %d", v)
+	}
+	res, err = c.Query(0, "max(cpu) where apache = true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := res.Agg.Value.AsFloat(); v != 62 {
+		t.Fatalf("max = %v", v)
+	}
+	if got := c.Attr(3, "cpu"); !got.IsValid() {
+		t.Fatal("attr read failed")
+	}
+}
+
+func TestSimClusterOptions(t *testing.T) {
+	c := NewSimCluster(32, WithSeed(9), WithThreshold(1), WithLANModel())
+	for i := 0; i < c.Size(); i++ {
+		c.SetAttr(i, "g", Bool(i < 4))
+	}
+	res, err := c.Query(1, "sum(*) where g = true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := res.Agg.Value.AsInt(); v != 4 {
+		t.Fatalf("sum = %d", v)
+	}
+	if res.Stats.TotalTime <= 0 {
+		t.Fatal("LAN model should produce nonzero latency")
+	}
+}
+
+func TestSimClusterWANModel(t *testing.T) {
+	c := NewSimCluster(48, WithSeed(3), WithWANModel())
+	for i := 0; i < c.Size(); i++ {
+		c.SetAttr(i, "v", Int(1))
+	}
+	res, err := c.Query(0, "sum(v)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := res.Agg.Value.AsInt(); v != 48 {
+		t.Fatalf("sum = %d", v)
+	}
+	if res.Stats.TotalTime < 10*time.Millisecond {
+		t.Fatalf("WAN latency suspiciously low: %v", res.Stats.TotalTime)
+	}
+}
+
+func TestProtocolBootstrapOption(t *testing.T) {
+	c := NewSimCluster(24, WithSeed(7), WithProtocolBootstrap())
+	for i := 0; i < c.Size(); i++ {
+		c.SetAttr(i, "x", Int(2))
+	}
+	res, err := c.Query(2, "sum(x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := res.Agg.Value.AsInt(); v != 48 {
+		t.Fatalf("sum = %d", v)
+	}
+}
+
+func TestParseRequestFacade(t *testing.T) {
+	req, err := ParseRequest("top3(cpu) where dc = east")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Attr != "cpu" || req.Pred == nil {
+		t.Fatalf("req = %+v", req)
+	}
+	if _, err := ParseRequest("nonsense"); err == nil {
+		t.Fatal("bad query should fail to parse")
+	}
+}
+
+func TestFormatEntries(t *testing.T) {
+	c := NewSimCluster(16, WithSeed(11))
+	for i := 0; i < c.Size(); i++ {
+		c.SetAttr(i, "v", Int(int64(i)))
+	}
+	res, err := c.Query(0, "top3(v)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := FormatEntries(res)
+	if len(entries) != 3 {
+		t.Fatalf("entries = %v", entries)
+	}
+	// The top entry's node resolves back to an index.
+	short := entries[0][:8]
+	if idx := c.IndexOfShort(short); idx < 0 {
+		t.Fatalf("IndexOfShort(%q) failed", short)
+	}
+}
+
+func TestMessageAccounting(t *testing.T) {
+	c := NewSimCluster(32, WithSeed(13))
+	for i := 0; i < c.Size(); i++ {
+		c.SetAttr(i, "a", Int(1))
+	}
+	c.ResetMessageCounter()
+	if _, err := c.Query(0, "sum(a)"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Messages() == 0 {
+		t.Fatal("query should produce messages")
+	}
+	c.ResetMessageCounter()
+	if c.Messages() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestTreesIntrospection(t *testing.T) {
+	c := NewSimCluster(48, WithSeed(21))
+	for i := 0; i < c.Size(); i++ {
+		c.SetAttr(i, "g", Bool(i%3 == 0))
+	}
+	if _, err := c.Query(0, "count(*) where g = true"); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for i := 0; i < c.Size(); i++ {
+		for _, ti := range c.Trees(i) {
+			if ti.Group == "g = true" {
+				found = true
+				if ti.QSetSize < 0 || ti.Np < 0 {
+					t.Fatalf("nonsense tree info: %+v", ti)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no node holds tree state after a query")
+	}
+}

@@ -1,0 +1,62 @@
+package moara
+
+import (
+	"fmt"
+	"time"
+)
+
+// Sample is one observation from a Monitor.
+type Sample struct {
+	// At is the (virtual) time the query was issued.
+	At time.Duration
+	// Result is the query's answer.
+	Result Result
+	// Err is non-nil when that round failed.
+	Err error
+}
+
+// Monitor implements the paper's continuous-monitoring pattern (§1): a
+// user interested in a group continually invokes one-shot queries
+// periodically. Because the group tree adapts to the query stream
+// (§4), steady monitoring converges to O(group) cost per round.
+//
+// Monitor drives the simulated cluster's clock; it returns the samples
+// collected over the monitoring window.
+func (s *SimCluster) Monitor(node int, query string, every time.Duration, rounds int) ([]Sample, error) {
+	req, err := ParseRequest(query)
+	if err != nil {
+		return nil, err
+	}
+	if every <= 0 || rounds <= 0 {
+		return nil, fmt.Errorf("moara: monitor needs a positive interval and round count")
+	}
+	out := make([]Sample, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		at := s.c.Net.Now()
+		res, err := s.c.Execute(node, req)
+		out = append(out, Sample{At: at, Result: res, Err: err})
+		s.c.RunFor(every)
+	}
+	return out, nil
+}
+
+// MonitorAgent runs the same pattern against a TCP agent on the real
+// clock, invoking fn after every round until stop is closed.
+func MonitorAgent(a *Agent, query string, every time.Duration, stop <-chan struct{}, fn func(Sample)) error {
+	req, err := ParseRequest(query)
+	if err != nil {
+		return err
+	}
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	start := time.Now()
+	for {
+		res, err := a.Execute(req, every)
+		fn(Sample{At: time.Since(start), Result: res, Err: err})
+		select {
+		case <-stop:
+			return nil
+		case <-ticker.C:
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package moara
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMonitorPeriodicQueries(t *testing.T) {
+	c := NewSimCluster(96, WithSeed(19))
+	for i := 0; i < c.Size(); i++ {
+		c.SetAttr(i, "g", Bool(i < 12))
+	}
+	samples, err := c.Monitor(0, "count(*) where g = true", time.Second, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 8 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	for i, s := range samples {
+		if s.Err != nil {
+			t.Fatalf("round %d: %v", i, s.Err)
+		}
+		if v, _ := s.Result.Agg.Value.AsInt(); v != 12 {
+			t.Fatalf("round %d: count = %d", i, v)
+		}
+	}
+	// Rounds are spaced by the interval in virtual time.
+	if gap := samples[1].At - samples[0].At; gap < time.Second {
+		t.Fatalf("round gap = %v", gap)
+	}
+	// Steady monitoring is cheap: the warmed rounds must cost far less
+	// than the first (broadcast) round.
+	c.ResetMessageCounter()
+	if _, err := c.Monitor(0, "count(*) where g = true", time.Second, 4); err != nil {
+		t.Fatal(err)
+	}
+	perRound := float64(c.Messages()) / 4
+	if perRound > float64(2*c.Size())/2 {
+		t.Fatalf("steady monitoring costs %.0f msgs/round, want far below broadcast (%d)",
+			perRound, 2*c.Size())
+	}
+}
+
+func TestMonitorValidation(t *testing.T) {
+	c := NewSimCluster(8)
+	if _, err := c.Monitor(0, "nonsense", time.Second, 1); err == nil {
+		t.Fatal("bad query should fail")
+	}
+	if _, err := c.Monitor(0, "count(*)", 0, 1); err == nil {
+		t.Fatal("zero interval should fail")
+	}
+	if _, err := c.Monitor(0, "count(*)", time.Second, 0); err == nil {
+		t.Fatal("zero rounds should fail")
+	}
+}
+
+func TestMonitorAgentTCP(t *testing.T) {
+	a, err := ListenAgent("127.0.0.1:0", nil, AgentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ListenAgent("127.0.0.1:0", nil, AgentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	defer b.Close()
+	roster := []string{a.Addr(), b.Addr()}
+	a.ApplyRoster(roster)
+	b.ApplyRoster(roster)
+	a.SetAttr("v", Int(3))
+	b.SetAttr("v", Int(4))
+
+	stop := make(chan struct{})
+	got := 0
+	err = MonitorAgent(a, "sum(v)", 50*time.Millisecond, stop, func(s Sample) {
+		if s.Err != nil {
+			t.Errorf("sample error: %v", s.Err)
+		}
+		if v, _ := s.Result.Agg.Value.AsInt(); v != 7 {
+			t.Errorf("sum = %d", v)
+		}
+		got++
+		if got >= 3 {
+			select {
+			case <-stop:
+			default:
+				close(stop)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 3 {
+		t.Fatalf("rounds = %d", got)
+	}
+}
