@@ -152,6 +152,48 @@ func BenchmarkFig16(b *testing.B) {
 	})
 }
 
+// BenchmarkGroupBy regenerates the grouped-vs-naive comparison: one
+// keyed dissemination answering every group at once versus one scalar
+// query per group.
+func BenchmarkGroupBy(b *testing.B) {
+	runBench(b, func() *experiments.Table {
+		return experiments.RunGroupBy(experiments.GroupByOptions{
+			N: 300, Slices: 16, Queries: 10,
+		})
+	})
+}
+
+// BenchmarkGroupedQueryTurnaround measures end-to-end turnaround of a
+// warmed `group by` query at 512 nodes / 16 keys — the grouped
+// monitoring hot path.
+func BenchmarkGroupedQueryTurnaround(b *testing.B) {
+	c := NewSimCluster(512)
+	for i := 0; i < c.Size(); i++ {
+		c.SetAttr(i, "slice", Str([]string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l", "m", "n", "o", "p"}[i%16]))
+		c.SetAttr(i, "mem", Float(float64(i%100)))
+	}
+	req, err := ParseRequest("avg(mem) group by slice")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Execute(0, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := c.Execute(0, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Groups) != 16 {
+			b.Fatalf("groups = %d", len(res.Groups))
+		}
+	}
+}
+
 // BenchmarkQueryThroughputSmallGroup measures end-to-end query
 // turnaround on a warmed 16-of-512 group tree — the steady-state
 // monitoring workload of §2 (not a paper figure; an engineering

@@ -24,6 +24,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/moara/moara"
 	"github.com/moara/moara/internal/transport"
 	"github.com/moara/moara/internal/value"
 )
@@ -86,6 +87,14 @@ func main() {
 			if err != nil {
 				fmt.Printf("  error: %v\n", err)
 				break
+			}
+			if res.Groups != nil {
+				for _, line := range moara.FormatGroups(res) {
+					fmt.Printf("  %s\n", line)
+				}
+				if res.Truncated {
+					fmt.Println("  (truncated: key cap exceeded, remainder under <other>)")
+				}
 			}
 			fmt.Printf("  %s  (%d contributors, %v)\n",
 				res.Agg, res.Contributors, res.Stats.TotalTime.Round(time.Millisecond))

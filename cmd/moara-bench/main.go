@@ -112,6 +112,13 @@ var figures = []struct {
 		}
 		return experiments.RunFig16(o)
 	}},
+	{"groupby", "grouped queries: keyed in-tree merge vs one query per group", func(p string) *experiments.Table {
+		o := experiments.GroupByOptions{}
+		if p == "quick" {
+			o = experiments.GroupByOptions{N: 300, Slices: 16, Queries: 10}
+		}
+		return experiments.RunGroupBy(o)
+	}},
 	{"ablation", "composite cover selection ablation (§6.3)", func(p string) *experiments.Table {
 		o := experiments.AblationOptions{}
 		if p == "quick" {

@@ -44,7 +44,7 @@ func main() {
 	c := moara.NewSimCluster(*n, opts...)
 	seedDemoAttrs(c)
 
-	fmt.Printf("moara: %d-node simulated cluster ready; try: count(*) where apache = true\n", *n)
+	fmt.Printf("moara: %d-node simulated cluster ready; try: count(*) where apache = true, or avg(mem_util) group by slice\n", *n)
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print("moara> ")
 	for sc.Scan() {
@@ -54,7 +54,7 @@ func main() {
 		case line == "quit" || line == "exit":
 			return
 		case line == "help":
-			fmt.Println("  <agg>(<attr>) [where <pred>] | set <node> <attr> <val> | get <node> <attr> | trees [node] | stats | quit")
+			fmt.Println("  <agg>(<attr>) [group by <attr>] [where <pred>] | set <node> <attr> <val> | get <node> <attr> | trees [node] | stats | quit")
 		case line == "stats":
 			fmt.Printf("  moara messages since start/reset: %d\n", c.Messages())
 		case strings.HasPrefix(line, "trees"):
@@ -86,7 +86,17 @@ func runQuery(c *moara.SimCluster, q string) {
 		fmt.Printf("  error: %v\n", err)
 		return
 	}
-	fmt.Printf("  %s\n", res.Agg)
+	if res.Groups != nil {
+		for _, line := range moara.FormatGroups(res) {
+			fmt.Printf("  %s\n", line)
+		}
+		if res.Truncated {
+			fmt.Println("  (truncated: key cap exceeded, remainder under <other>)")
+		}
+		fmt.Printf("  total %s across %d keys\n", res.Agg.Value, res.Stats.GroupKeys)
+	} else {
+		fmt.Printf("  %s\n", res.Agg)
+	}
 	fmt.Printf("  %d contributors, %.1f ms", res.Contributors,
 		float64(res.Stats.TotalTime.Microseconds())/1000)
 	if len(res.Stats.Chosen) > 0 {
@@ -140,5 +150,6 @@ func seedDemoAttrs(c *moara.SimCluster) {
 		c.SetAttr(i, "apache", moara.Bool(i%2 == 0))
 		c.SetAttr(i, "service_x", moara.Bool(i%5 == 0))
 		c.SetAttr(i, "os", moara.Str([]string{"linux", "freebsd", "solaris"}[i%3]))
+		c.SetAttr(i, "slice", moara.Str(fmt.Sprintf("cs%d", 100+i%7)))
 	}
 }

@@ -1,0 +1,3 @@
+module github.com/moara/moara
+
+go 1.24

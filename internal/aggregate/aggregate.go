@@ -36,28 +36,51 @@ const (
 	KindStd
 )
 
+// ctor describes one registered aggregation function: its canonical
+// query-language name, accepted aliases, and the constructor producing
+// its empty State. Spec.New, ParseSpec, and Kind.String are all views of
+// this one registry, so adding a function is a single-entry change.
+type ctor struct {
+	name     string
+	aliases  []string
+	newState func(Spec) State
+}
+
+var registry = map[Kind]ctor{
+	KindSum:   {name: "sum", newState: func(Spec) State { return &SumState{} }},
+	KindCount: {name: "count", newState: func(Spec) State { return &CountState{} }},
+	KindMin:   {name: "min", newState: func(Spec) State { return &ExtremeState{Max: false} }},
+	KindMax:   {name: "max", newState: func(Spec) State { return &ExtremeState{Max: true} }},
+	KindAvg:   {name: "avg", aliases: []string{"average", "mean"}, newState: func(Spec) State { return &AvgState{} }},
+	KindTopK: {name: "top", newState: func(s Spec) State {
+		k := s.K
+		if k <= 0 {
+			k = 1
+		}
+		return &TopKState{K: k}
+	}},
+	KindEnum: {name: "enum", aliases: []string{"enumerate", "list"}, newState: func(Spec) State { return &EnumState{} }},
+	KindStd:  {name: "std", aliases: []string{"stddev"}, newState: func(Spec) State { return &StdState{} }},
+}
+
+// kindByName indexes the registry by canonical name and alias.
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind)
+	for k, c := range registry {
+		m[c.name] = k
+		for _, a := range c.aliases {
+			m[a] = k
+		}
+	}
+	return m
+}()
+
 // String returns the function's query-language name.
 func (k Kind) String() string {
-	switch k {
-	case KindSum:
-		return "sum"
-	case KindCount:
-		return "count"
-	case KindMin:
-		return "min"
-	case KindMax:
-		return "max"
-	case KindAvg:
-		return "avg"
-	case KindTopK:
-		return "top"
-	case KindEnum:
-		return "enum"
-	case KindStd:
-		return "std"
-	default:
-		return "invalid"
+	if c, ok := registry[k]; ok {
+		return c.name
 	}
+	return "invalid"
 }
 
 // Spec identifies an aggregation function instance. K is the list bound
@@ -79,21 +102,15 @@ func (s Spec) String() string {
 // avg, enum, or topN (e.g. top3).
 func ParseSpec(name string) (Spec, error) {
 	n := strings.ToLower(strings.TrimSpace(name))
-	switch n {
-	case "sum":
-		return Spec{Kind: KindSum}, nil
-	case "count":
-		return Spec{Kind: KindCount}, nil
-	case "min":
-		return Spec{Kind: KindMin}, nil
-	case "max":
-		return Spec{Kind: KindMax}, nil
-	case "avg", "average", "mean":
-		return Spec{Kind: KindAvg}, nil
-	case "enum", "enumerate", "list":
-		return Spec{Kind: KindEnum}, nil
-	case "std", "stddev":
-		return Spec{Kind: KindStd}, nil
+	if n == "" {
+		return Spec{}, fmt.Errorf("aggregate: empty function name")
+	}
+	if k, ok := kindByName[n]; ok {
+		s := Spec{Kind: k}
+		if k == KindTopK {
+			s.K = 1
+		}
+		return s, nil
 	}
 	if rest, ok := strings.CutPrefix(n, "top"); ok {
 		if rest == "" {
@@ -150,32 +167,14 @@ func (r Result) String() string {
 	return "[" + strings.Join(parts, " ") + "]"
 }
 
-// New creates the empty state for the spec.
+// New creates the empty state for the spec by looking up the
+// function's registered constructor.
 func (s Spec) New() State {
-	switch s.Kind {
-	case KindSum:
-		return &SumState{}
-	case KindCount:
-		return &CountState{}
-	case KindMin:
-		return &ExtremeState{Max: false}
-	case KindMax:
-		return &ExtremeState{Max: true}
-	case KindAvg:
-		return &AvgState{}
-	case KindTopK:
-		k := s.K
-		if k <= 0 {
-			k = 1
-		}
-		return &TopKState{K: k}
-	case KindEnum:
-		return &EnumState{}
-	case KindStd:
-		return &StdState{}
-	default:
+	c, ok := registry[s.Kind]
+	if !ok {
 		panic(fmt.Sprintf("aggregate: New on invalid spec %v", s))
 	}
+	return c.newState(s)
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,209 @@
+package aggregate
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/moara/moara/internal/ids"
+	"github.com/moara/moara/internal/value"
+)
+
+func keyOf(i int, nKeys int) string { return fmt.Sprintf("k%02d", i%nKeys) }
+
+// TestGroupedScalarSpecialCase: an ungrouped query through the keyed
+// engine (everything under ScalarKey) must equal the plain scalar state.
+func TestGroupedScalarSpecialCase(t *testing.T) {
+	for _, spec := range allSpecs() {
+		g := NewGrouped(spec, 0)
+		flat := spec.New()
+		for i := 1; i <= 20; i++ {
+			n := ids.FromUint64(uint64(i))
+			v := value.Int(int64(i * 3 % 17))
+			g.Add(n, v)
+			flat.Add(n, v)
+		}
+		if !resultsEqual(g.Result(), flat.Result()) {
+			t.Errorf("%v: grouped scalar %v != flat %v", spec, g.Result(), flat.Result())
+		}
+		if g.Nodes() != flat.Nodes() {
+			t.Errorf("%v: nodes %d != %d", spec, g.Nodes(), flat.Nodes())
+		}
+		if g.KeyCount() != 1 || g.Truncated() {
+			t.Errorf("%v: scalar state should hold exactly the one key", spec)
+		}
+	}
+}
+
+// TestGroupedPartialAggregationLaw extends the §3.1 merge law to the
+// keyed engine: per-key results must be independent of how contributions
+// are split across merged states.
+func TestGroupedPartialAggregationLaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, spec := range allSpecs() {
+		const n, nKeys = 60, 7
+		flat := NewGrouped(spec, 0)
+		a, b := NewGrouped(spec, 0), NewGrouped(spec, 0)
+		split := rng.Intn(n)
+		for i := 0; i < n; i++ {
+			node := ids.FromUint64(uint64(i + 1))
+			key := keyOf(rng.Intn(nKeys*3), nKeys)
+			v := value.Int(int64(rng.Intn(100)))
+			flat.AddKeyed(node, key, v)
+			if i < split {
+				a.AddKeyed(node, key, v)
+			} else {
+				b.AddKeyed(node, key, v)
+			}
+		}
+		if err := a.Merge(b); err != nil {
+			t.Fatalf("%v: merge: %v", spec, err)
+		}
+		fr, ar := flat.Results(), a.Results()
+		if len(fr) != len(ar) {
+			t.Fatalf("%v: key sets differ: %d vs %d", spec, len(fr), len(ar))
+		}
+		for k, want := range fr {
+			if !resultsEqual(ar[k], want) {
+				t.Errorf("%v key %q: split %v != flat %v", spec, k, ar[k], want)
+			}
+		}
+		if !resultsEqual(a.Result(), flat.Result()) {
+			t.Errorf("%v: grand total differs", spec)
+		}
+	}
+}
+
+// TestGroupedCapSpill: past the cap, the lexicographically smallest keys
+// stay exact and the remainder lands in Other, with the grand total
+// unaffected.
+func TestGroupedCapSpill(t *testing.T) {
+	spec := Spec{Kind: KindSum}
+	g := NewGrouped(spec, 3)
+	total := int64(0)
+	// Insert keys in descending order so eviction (not just overflow
+	// routing) is exercised: each smaller newcomer demotes the largest.
+	for i := 9; i >= 0; i-- {
+		v := int64(i + 1)
+		g.AddKeyed(ids.FromUint64(uint64(i+1)), keyOf(i, 10), value.Int(v))
+		total += v
+	}
+	if !g.Truncated() {
+		t.Fatal("cap 3 with 10 keys should truncate")
+	}
+	if got := g.KeyCount(); got != 3 {
+		t.Fatalf("KeyCount = %d, want 3", got)
+	}
+	wantKeys := []string{"k00", "k01", "k02"}
+	for i, k := range g.Keys() {
+		if k != wantKeys[i] {
+			t.Fatalf("Keys() = %v, want %v", g.Keys(), wantKeys)
+		}
+	}
+	res := g.Results()
+	for i, k := range wantKeys {
+		if got, _ := res[k].Value.AsInt(); got != int64(i+1) {
+			t.Errorf("%s = %v, want %d", k, res[k].Value, i+1)
+		}
+	}
+	// k03..k09 spilled: 4+5+...+10 = 49.
+	if got, _ := res[OtherKey].Value.AsInt(); got != 49 {
+		t.Errorf("other = %v, want 49", res[OtherKey].Value)
+	}
+	if got, _ := g.Result().Value.AsInt(); got != total {
+		t.Errorf("grand total = %v, want %d", g.Result().Value, total)
+	}
+	if g.Nodes() != 10 {
+		t.Errorf("nodes = %d, want 10", g.Nodes())
+	}
+}
+
+// TestGroupedMergeRespectsCap: merging states whose union exceeds the
+// cap spills into Other rather than growing without bound.
+func TestGroupedMergeRespectsCap(t *testing.T) {
+	spec := Spec{Kind: KindCount}
+	a, b := NewGrouped(spec, 4), NewGrouped(spec, 4)
+	for i := 0; i < 4; i++ {
+		a.AddKeyed(ids.FromUint64(uint64(i+1)), keyOf(i, 8), value.Int(1))
+		b.AddKeyed(ids.FromUint64(uint64(i+100)), keyOf(i+4, 8), value.Int(1))
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.KeyCount() != 4 {
+		t.Fatalf("KeyCount = %d, want 4", a.KeyCount())
+	}
+	if !a.Truncated() {
+		t.Fatal("merge past cap should truncate")
+	}
+	if a.Nodes() != 8 {
+		t.Fatalf("nodes = %d, want 8", a.Nodes())
+	}
+}
+
+// TestGroupedMergeErrors: spec and type mismatches are rejected.
+func TestGroupedMergeErrors(t *testing.T) {
+	g := NewGrouped(Spec{Kind: KindSum}, 0)
+	if err := g.Merge(&SumState{}); err == nil {
+		t.Fatal("merging a scalar state into the keyed engine should fail")
+	}
+	if err := g.Merge(NewGrouped(Spec{Kind: KindCount}, 0)); err == nil {
+		t.Fatal("merging mismatched specs should fail")
+	}
+}
+
+// TestGroupedGobRoundTrip: the keyed state survives the wire intact,
+// including nested per-key states and the spill bucket.
+func TestGroupedGobRoundTrip(t *testing.T) {
+	gob.Register(&GroupedState{})
+	gob.Register(&AvgState{})
+	g := NewGrouped(Spec{Kind: KindAvg}, 2)
+	for i := 0; i < 8; i++ {
+		g.AddKeyed(ids.FromUint64(uint64(i+1)), keyOf(i, 4), value.Float(float64(i)))
+	}
+	var buf bytes.Buffer
+	var in State = g
+	if err := gob.NewEncoder(&buf).Encode(&in); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var out State
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	got, ok := out.(*GroupedState)
+	if !ok {
+		t.Fatalf("decoded %T", out)
+	}
+	if got.KeyCount() != g.KeyCount() || got.Spilled != g.Spilled || got.Nodes() != g.Nodes() {
+		t.Fatalf("round trip mangled state: %+v vs %+v", got, g)
+	}
+	want, have := g.Results(), got.Results()
+	for k, w := range want {
+		if !resultsEqual(have[k], w) {
+			t.Errorf("key %q: %v != %v", k, have[k], w)
+		}
+	}
+}
+
+// TestParseSpecErrors is the table-driven error corpus for the
+// function-name parser.
+func TestParseSpecErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"   ",
+		"top-3",
+		"topx",
+		"top-0",
+		"sum()",
+		"minmax",
+		"grouped",
+		"avg ustale",
+	}
+	for _, in := range bad {
+		if sp, err := ParseSpec(in); err == nil {
+			t.Errorf("ParseSpec(%q) = %v, should fail", in, sp)
+		}
+	}
+}

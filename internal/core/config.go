@@ -88,6 +88,11 @@ type Config struct {
 	// composite predicates fall back to querying every mentioned
 	// group (still complete).
 	MaxCNFClauses int
+	// MaxGroupKeys caps the distinct keys a grouped query's keyed
+	// accumulator holds at any node; past it, contributions spill into
+	// the aggregate.OtherKey bucket (memory protection against
+	// high-cardinality group-by attributes). Negative disables the cap.
+	MaxGroupKeys int
 }
 
 // Defaults fills unset fields with the paper's parameter choices.
@@ -115,6 +120,12 @@ func (c Config) Defaults() Config {
 	}
 	if c.MaxCNFClauses == 0 {
 		c.MaxCNFClauses = 128
+	}
+	switch {
+	case c.MaxGroupKeys == 0:
+		c.MaxGroupKeys = 1024
+	case c.MaxGroupKeys < 0:
+		c.MaxGroupKeys = 0
 	}
 	return c
 }

@@ -11,7 +11,8 @@ import (
 )
 
 // Request is one front-end query: (query-attribute, aggregation
-// function, group-predicate), the paper's query triple (§3.1).
+// function, group-predicate), the paper's query triple (§3.1),
+// optionally keyed by a group-by attribute.
 type Request struct {
 	// Attr is the attribute to aggregate; "*" contributes 1 per node.
 	Attr string
@@ -19,6 +20,11 @@ type Request struct {
 	Spec aggregate.Spec
 	// Pred is the group predicate; nil aggregates over all nodes.
 	Pred predicate.Expr
+	// GroupBy names the attribute whose value partitions the answer
+	// into per-key sub-aggregates (the `group by` clause); empty for a
+	// scalar query. The keyed merge happens in-tree, so a grouped query
+	// still costs one dissemination.
+	GroupBy string
 }
 
 // ExecStats reports how a query was planned and how long its phases
@@ -43,12 +49,26 @@ type ExecStats struct {
 	FellBack bool
 	// Probed is the number of size probes issued.
 	Probed int
+	// GroupBy echoes the request's group-by attribute.
+	GroupBy string
+	// GroupKeys is the number of distinct group keys held exactly
+	// (grouped queries only).
+	GroupKeys int
 }
 
 // Result is a completed query.
 type Result struct {
-	// Agg is the aggregate answer.
+	// Agg is the aggregate answer; for grouped queries it is the grand
+	// total across every key.
 	Agg aggregate.Result
+	// Groups holds the per-key answers of a `group by` query (nil for
+	// scalar queries). Spilled high-cardinality mass, if any, appears
+	// under aggregate.OtherKey.
+	Groups map[string]aggregate.Result
+	// Truncated reports that the group-key cap was exceeded somewhere
+	// in the tree, so some per-key answers are partial (the remainder
+	// is under aggregate.OtherKey; Agg stays exact).
+	Truncated bool
 	// Contributors is the number of nodes that contributed a value.
 	Contributors int64
 	// Stats describes planning and timing.
@@ -80,7 +100,7 @@ type feQuery struct {
 	probeCancel func()
 
 	groupsPending map[string]bool
-	agg           aggregate.State
+	agg           *aggregate.GroupedState
 	queryCancel   func()
 
 	stats        ExecStats
@@ -119,16 +139,18 @@ func (fe *frontend) execute(req Request, cb func(Result, error)) {
 		return
 	}
 	plan := buildPlan(req.Attr, req.Pred, n.cfg.MaxCNFClauses)
+	plan.groupBy = req.GroupBy
 	fq := &feQuery{
 		qid:     n.nextQID(),
 		req:     req,
 		cb:      cb,
 		plan:    plan,
 		costs:   make(map[string]float64),
-		agg:     req.Spec.New(),
+		agg:     aggregate.NewGrouped(req.Spec, n.cfg.MaxGroupKeys),
 		startAt: n.env.Now(),
 	}
 	fq.stats.FellBack = plan.fellBack
+	fq.stats.GroupBy = req.GroupBy
 	for _, cover := range plan.covers {
 		fq.stats.Covers = append(fq.stats.Covers, coverCanons(cover))
 	}
@@ -260,6 +282,7 @@ func (fe *frontend) startSubQueries(fq *feQuery) {
 			Eval:    eval,
 			Attr:    fq.req.Attr,
 			Spec:    fq.req.Spec,
+			GroupBy: fq.plan.groupBy,
 			ReplyTo: n.self,
 		})
 	}
@@ -311,8 +334,13 @@ func (fq *feQuery) finish(n *Node, err error) {
 	res := Result{
 		Agg:          fq.agg.Result(),
 		Contributors: fq.agg.Nodes(),
-		Stats:        fq.stats,
 	}
+	if fq.req.GroupBy != "" {
+		res.Groups = fq.agg.Results()
+		res.Truncated = fq.agg.Truncated()
+		fq.stats.GroupKeys = fq.agg.KeyCount()
+	}
+	res.Stats = fq.stats
 	fq.cb(res, err)
 }
 
@@ -327,9 +355,9 @@ func coverCanons(cover []groupSpec) []string {
 
 // ParseRequest builds a Request from query-language text:
 //
-//	<agg>(<attr>) [where <predicate>]
+//	<agg>(<attr>) [group by <attr>] [where <predicate>]
 //
-// e.g. "avg(mem_util) where service_x = true and apache = true".
+// e.g. "avg(mem_util) group by slice where apache = true".
 func ParseRequest(s string) (Request, error) {
 	return parseRequestText(s)
 }

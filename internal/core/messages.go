@@ -48,6 +48,9 @@ type SubQueryMsg struct {
 	Attr string
 	// Spec is the aggregation function.
 	Spec aggregate.Spec
+	// GroupBy names the attribute whose per-node value keys the keyed
+	// aggregation; empty for scalar queries.
+	GroupBy string
 	// ReplyTo receives the tree's aggregated ResponseMsg.
 	ReplyTo ids.ID
 }
@@ -58,12 +61,16 @@ func (SubQueryMsg) MsgKind() string { return "moara.query" }
 // QueryMsg disseminates a query down a group tree (or jumps across the
 // separate query plane).
 type QueryMsg struct {
-	QID     QueryID
-	Seq     uint64
-	Group   string
-	Eval    string
-	Attr    string
-	Spec    aggregate.Spec
+	QID   QueryID
+	Seq   uint64
+	Group string
+	Eval  string
+	Attr  string
+	Spec  aggregate.Spec
+	// GroupBy keys the in-tree aggregation (empty for scalar queries):
+	// every node contributes under its local value of this attribute and
+	// sub-aggregates merge per key on the way up.
+	GroupBy string
 	Level   int
 	ReplyTo ids.ID
 	// Jump marks a separate-query-plane shortcut (§5): the receiver
@@ -77,7 +84,9 @@ type QueryMsg struct {
 func (QueryMsg) MsgKind() string { return "moara.query" }
 
 // ResponseMsg carries a subtree's partial aggregate back up the query
-// path. Np/Unknown piggyback the subtree's query-plane size for lazy
+// path. State is always a *aggregate.GroupedState — the keyed engine
+// every query flows through; scalar queries are the single-key special
+// case. Np/Unknown piggyback the subtree's query-plane size for lazy
 // cost maintenance (§6.3).
 type ResponseMsg struct {
 	QID     QueryID

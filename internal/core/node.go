@@ -314,14 +314,17 @@ func (n *Node) handleStatus(from ids.ID, sm StatusMsg) {
 // ---------------------------------------------------------------------
 // Query dissemination and aggregation
 
-// exec tracks one in-flight query aggregation at this node.
+// exec tracks one in-flight query aggregation at this node. Every query
+// — scalar or grouped — accumulates through the keyed engine; a scalar
+// query is the single-key (ScalarKey) special case.
 type exec struct {
 	qid     QueryID
 	group   string
 	attrKey string
 	spec    aggregate.Spec
+	groupBy string
 	replyTo ids.ID
-	state   aggregate.State
+	state   *aggregate.GroupedState
 	pending map[ids.ID]bool
 	cancel  func()
 }
@@ -348,6 +351,7 @@ func (n *Node) handleSubQuery(sq SubQueryMsg) {
 		Eval:    sq.Eval,
 		Attr:    sq.Attr,
 		Spec:    sq.Spec,
+		GroupBy: sq.GroupBy,
 		Level:   0,
 		ReplyTo: n.self,
 	}
@@ -422,11 +426,12 @@ func (n *Node) disseminate(ps *predState, qm QueryMsg, replyTo ids.ID) {
 		group:   qm.Group,
 		attrKey: qm.Attr,
 		spec:    qm.Spec,
+		groupBy: qm.GroupBy,
 		replyTo: replyTo,
-		state:   qm.Spec.New(),
+		state:   aggregate.NewGrouped(qm.Spec, n.cfg.MaxGroupKeys),
 	}
 	if n.evalQuery(ps, qm) && n.claimAnswer(qm.QID) {
-		ex.state.Add(n.self, n.localValue(qm.Attr))
+		ex.state.AddKeyed(n.self, n.groupKey(qm.GroupBy), n.localValue(qm.Attr))
 	}
 	if len(targets) == 0 {
 		n.finishExec(ex)
@@ -454,11 +459,12 @@ func (n *Node) disseminateGlobal(qm QueryMsg) {
 		group:   qm.Group,
 		attrKey: qm.Attr,
 		spec:    qm.Spec,
+		groupBy: qm.GroupBy,
 		replyTo: qm.ReplyTo,
-		state:   qm.Spec.New(),
+		state:   aggregate.NewGrouped(qm.Spec, n.cfg.MaxGroupKeys),
 	}
 	if n.evalGlobal(qm) && n.claimAnswer(qm.QID) {
-		ex.state.Add(n.self, n.localValue(qm.Attr))
+		ex.state.AddKeyed(n.self, n.groupKey(qm.GroupBy), n.localValue(qm.Attr))
 	}
 	targets := n.structural(qm.Level)
 	if len(targets) == 0 {
@@ -524,6 +530,26 @@ func (n *Node) localValue(attrName string) value.Value {
 		return value.Int(1)
 	}
 	return n.store.Get(attrName)
+}
+
+// groupKey derives this node's aggregation key for a grouped query:
+// the canonical form of its group-by attribute value, NullKey when the
+// attribute is unset, and ScalarKey for ungrouped queries. A literal
+// attribute value that collides with a reserved key is escaped with a
+// leading backslash so it can never shadow the null or spill bucket.
+func (n *Node) groupKey(groupBy string) string {
+	if groupBy == "" {
+		return aggregate.ScalarKey
+	}
+	v := n.store.Get(groupBy)
+	if !v.IsValid() {
+		return aggregate.NullKey
+	}
+	key := v.Key()
+	if key == aggregate.NullKey || key == aggregate.OtherKey {
+		return `\` + key
+	}
+	return key
 }
 
 // handleResponse merges a child's partial aggregate.

@@ -10,13 +10,15 @@ import (
 
 // parseRequestText parses the front-end query language:
 //
-//	[select] <agg>(<attr>) [where <predicate>]
+//	[select] <agg>(<attr>) [group by <attr>] [where <predicate>]
 //
+// The group-by clause may appear before or after the where clause.
 // Examples:
 //
 //	count(*) where service_x = true
 //	select max(cpu_usage) where service_x = true and apache = true
-//	avg(mem_util)
+//	avg(mem_util) group by slice where apache = true
+//	count(*) where apache = true group by os
 //	top3(load) where (service_x = true) and (apache = true)
 func parseRequestText(s string) (Request, error) {
 	text := strings.TrimSpace(s)
@@ -49,6 +51,10 @@ func parseRequestText(s string) (Request, error) {
 	}
 
 	rest := strings.TrimSpace(text[closeIdx+1:])
+	rest, groupBy, err := cutGroupBy(rest)
+	if err != nil {
+		return Request{}, err
+	}
 	var pred predicate.Expr
 	if rest != "" {
 		lowRest := strings.ToLower(rest)
@@ -64,5 +70,93 @@ func parseRequestText(s string) (Request, error) {
 			return Request{}, err
 		}
 	}
-	return Request{Attr: attrName, Spec: spec, Pred: pred}, nil
+	return Request{Attr: attrName, Spec: spec, Pred: pred, GroupBy: groupBy}, nil
+}
+
+// cutGroupBy extracts an optional `group by <attr>` clause from the
+// text following the aggregate, wherever it appears relative to the
+// where clause, returning the remaining text with the clause removed.
+func cutGroupBy(s string) (rest, groupBy string, err error) {
+	toks := tokenize(s)
+	for i, t := range toks {
+		if !strings.EqualFold(t.text, "group") {
+			continue
+		}
+		if i+1 >= len(toks) || !strings.EqualFold(toks[i+1].text, "by") {
+			// A bare "group" token is a legitimate attribute name or
+			// literal in the predicate, not a clause.
+			continue
+		}
+		if i+2 >= len(toks) {
+			return "", "", fmt.Errorf("core: group by needs an attribute in %q", s)
+		}
+		key := toks[i+2].text
+		if !validGroupKey(key) {
+			return "", "", fmt.Errorf("core: bad group by attribute %q", key)
+		}
+		// Splice the clause out by byte offsets, preserving the
+		// predicate text exactly as written.
+		before := s[:toks[i].start]
+		after := ""
+		if i+3 < len(toks) {
+			after = s[toks[i+3].start:]
+		}
+		rest = strings.TrimSpace(strings.TrimSpace(before) + " " + after)
+		return rest, key, nil
+	}
+	return strings.TrimSpace(s), "", nil
+}
+
+// token is one whitespace-delimited word plus its byte offset. A quoted
+// span (predicate string literal) extends its token through any spaces
+// it contains, so clause keywords inside quotes are never mistaken for
+// a group-by clause.
+type token struct {
+	text  string
+	start int
+}
+
+func tokenize(s string) []token {
+	var out []token
+	i := 0
+	for i < len(s) {
+		if s[i] == ' ' || s[i] == '\t' {
+			i++
+			continue
+		}
+		j := i
+		for j < len(s) && s[j] != ' ' && s[j] != '\t' {
+			if q := s[j]; q == '"' || q == '\'' {
+				j++
+				for j < len(s) && s[j] != q {
+					j++
+				}
+				if j < len(s) {
+					j++
+				}
+				continue
+			}
+			j++
+		}
+		out = append(out, token{text: s[i:j], start: i})
+		i = j
+	}
+	return out
+}
+
+// validGroupKey accepts attribute-name identifiers; grouping by "*" or
+// by predicate punctuation is rejected.
+func validGroupKey(key string) bool {
+	if key == "" || key == "*" {
+		return false
+	}
+	for _, r := range key {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z',
+			r >= '0' && r <= '9', r == '_', r == '-', r == '.':
+		default:
+			return false
+		}
+	}
+	return true
 }

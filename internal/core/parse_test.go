@@ -13,14 +13,24 @@ func TestParseRequestForms(t *testing.T) {
 		wantKind aggregate.Kind
 		wantK    int
 		wantPred bool
+		wantBy   string
 	}{
-		{"avg(mem_util)", "mem_util", aggregate.KindAvg, 0, false},
-		{"select avg(mem_util)", "mem_util", aggregate.KindAvg, 0, false},
-		{"count(*) where apache = true", "*", aggregate.KindCount, 0, true},
-		{"SELECT MAX(cpu) WHERE x = 1 and y = 2", "cpu", aggregate.KindMax, 0, true},
-		{"top3(load) where slice = s1", "load", aggregate.KindTopK, 3, true},
-		{"sum( a ) where b < 2.5", "a", aggregate.KindSum, 0, true},
-		{"enum(hostname) where dc = east", "hostname", aggregate.KindEnum, 0, true},
+		{"avg(mem_util)", "mem_util", aggregate.KindAvg, 0, false, ""},
+		{"select avg(mem_util)", "mem_util", aggregate.KindAvg, 0, false, ""},
+		{"count(*) where apache = true", "*", aggregate.KindCount, 0, true, ""},
+		{"SELECT MAX(cpu) WHERE x = 1 and y = 2", "cpu", aggregate.KindMax, 0, true, ""},
+		{"top3(load) where slice = s1", "load", aggregate.KindTopK, 3, true, ""},
+		{"sum( a ) where b < 2.5", "a", aggregate.KindSum, 0, true, ""},
+		{"enum(hostname) where dc = east", "hostname", aggregate.KindEnum, 0, true, ""},
+		{"avg(mem_util) group by slice", "mem_util", aggregate.KindAvg, 0, false, "slice"},
+		{"avg(mem_util) group by slice where apache = true", "mem_util", aggregate.KindAvg, 0, true, "slice"},
+		{"avg(mem_util) where apache = true group by slice", "mem_util", aggregate.KindAvg, 0, true, "slice"},
+		{"count(*) GROUP BY os", "*", aggregate.KindCount, 0, false, "os"},
+		{"select count(*) group by dc.rack where (a = 1) and (b = 2)", "*", aggregate.KindCount, 0, true, "dc.rack"},
+		// "group" as a plain attribute name or inside a quoted literal
+		// must not be mistaken for a clause.
+		{"count(*) where group = true", "*", aggregate.KindCount, 0, true, ""},
+		{`count(*) where note = "x group by rack y"`, "*", aggregate.KindCount, 0, true, ""},
 	}
 	for _, tc := range tests {
 		req, err := parseRequestText(tc.in)
@@ -37,6 +47,9 @@ func TestParseRequestForms(t *testing.T) {
 		if (req.Pred != nil) != tc.wantPred {
 			t.Errorf("%q: pred present = %v, want %v", tc.in, req.Pred != nil, tc.wantPred)
 		}
+		if req.GroupBy != tc.wantBy {
+			t.Errorf("%q: group by = %q, want %q", tc.in, req.GroupBy, tc.wantBy)
+		}
 	}
 }
 
@@ -51,6 +64,15 @@ func TestParseRequestErrors(t *testing.T) {
 		"avg(x) where",
 		"avg(x) where y ~ 1",
 		"selectavg(x)",
+		"avg(x) group",
+		"avg(x) group slice",
+		"avg(x) group by",
+		"avg(x) group by *",
+		"avg(x) group by (slice)",
+		"avg(x) group by slice extra",
+		"avg(x) group by slice group by os",
+		"avg(x) where y = 1 group by",
+		"avg(x) trailing garbage",
 	}
 	for _, in := range bad {
 		if _, err := parseRequestText(in); err == nil {

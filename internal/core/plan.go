@@ -31,6 +31,10 @@ type queryPlan struct {
 	// fellBack notes that CNF expansion was abandoned and the plan
 	// queries every mentioned group.
 	fellBack bool
+	// groupBy is the request's group-by attribute, carried to every
+	// sub-query so the keyed merge happens in-tree. It does not affect
+	// cover selection: the same trees answer grouped and scalar forms.
+	groupBy string
 }
 
 // buildPlan derives the covers for a query over pred aggregating

@@ -1,0 +1,85 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"github.com/moara/moara/internal/aggregate"
+	"github.com/moara/moara/internal/baseline"
+	"github.com/moara/moara/internal/core"
+	"github.com/moara/moara/internal/ids"
+	"github.com/moara/moara/internal/pastry"
+	"github.com/moara/moara/internal/value"
+)
+
+// TestGobRoundTripAllWireTypes round-trips one populated sample of
+// every wire type RegisterGob lists through an encoder/decoder pair, as
+// the TCP transport does. A type added to the system but forgotten in
+// RegisterGob fails here in CI instead of at an agent's first use.
+func TestGobRoundTripAllWireTypes(t *testing.T) {
+	RegisterGob()
+
+	nodeA, nodeB := ids.FromKey("a"), ids.FromKey("b")
+	qid := core.QueryID{Origin: nodeA, Num: 42}
+	spec := aggregate.Spec{Kind: aggregate.KindAvg}
+
+	sum := &aggregate.SumState{Valid: true, V: value.Int(7), N: 2}
+	grouped := aggregate.NewGrouped(spec, 8)
+	grouped.AddKeyed(nodeA, "cs101", value.Float(10))
+	grouped.AddKeyed(nodeB, "cs202", value.Float(30))
+
+	topk := &aggregate.TopKState{K: 2, N: 1,
+		Entries: []aggregate.Entry{{Node: nodeA, Value: value.Int(9)}}}
+
+	samples := []any{
+		pastry.RouteMsg{Key: nodeA, Origin: nodeB, Hops: 3,
+			Payload: core.ProbeMsg{QID: qid, Group: "g", Attr: "cpu", ReplyTo: nodeB}},
+		pastry.JoinRequest{Joiner: nodeA, Rows: []ids.ID{nodeB}, Hops: 1},
+		pastry.JoinReply{Rows: []ids.ID{nodeA}, Leaf: []ids.ID{nodeB}},
+		pastry.Announce{ID: nodeA},
+		pastry.AnnounceAck{Known: []ids.ID{nodeA, nodeB}},
+		pastry.Heartbeat{Ack: true},
+		core.SubQueryMsg{QID: qid, Group: "slice = cs101", Eval: "a = 1", Attr: "mem_util",
+			Spec: spec, GroupBy: "slice", ReplyTo: nodeB},
+		core.QueryMsg{QID: qid, Seq: 7, Group: "g", Eval: "e", Attr: "mem_util",
+			Spec: spec, GroupBy: "slice", Level: 2, ReplyTo: nodeA, Jump: true},
+		core.ResponseMsg{QID: qid, Group: "g", State: grouped, Np: 3, Unknown: 1.5},
+		core.StatusMsg{Group: "g", Prune: true, Np: 4, Unknown: 0.5, LastSeq: 9,
+			UpdateSet: []core.SetEntry{{ID: nodeA, Level: 1}}},
+		core.ProbeMsg{QID: qid, Group: "g", Attr: "cpu", ReplyTo: nodeA},
+		core.ProbeRespMsg{QID: qid, Group: "g", Cost: 12.5},
+		baseline.CentralQueryMsg{Num: 5, Attr: "cpu", Spec: spec, Pred: "a = 1"},
+		baseline.CentralRespMsg{Num: 5, State: sum},
+		core.ResponseMsg{QID: qid, Group: "g", State: sum},
+		core.ResponseMsg{QID: qid, Group: "g", State: &aggregate.CountState{N: 4}},
+		core.ResponseMsg{QID: qid, Group: "g",
+			State: &aggregate.ExtremeState{Max: true, Valid: true, N: 2,
+				Best: aggregate.Entry{Node: nodeA, Value: value.Int(3)}}},
+		core.ResponseMsg{QID: qid, Group: "g",
+			State: &aggregate.AvgState{Sum: *sum}},
+		core.ResponseMsg{QID: qid, Group: "g", State: topk},
+		core.ResponseMsg{QID: qid, Group: "g",
+			State: &aggregate.EnumState{Entries: topk.Entries}},
+		core.ResponseMsg{QID: qid, Group: "g",
+			State: &aggregate.StdState{N: 3, Sum: 6, SumSq: 14}},
+		value.Str("plain value"),
+	}
+
+	for _, m := range samples {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&envelope{FromAddr: "x", Payload: m}); err != nil {
+			t.Errorf("%T: encode: %v", m, err)
+			continue
+		}
+		var env envelope
+		if err := gob.NewDecoder(&buf).Decode(&env); err != nil {
+			t.Errorf("%T: decode: %v", m, err)
+			continue
+		}
+		if !reflect.DeepEqual(env.Payload, m) {
+			t.Errorf("%T: round trip mismatch:\n got %#v\nwant %#v", m, env.Payload, m)
+		}
+	}
+}

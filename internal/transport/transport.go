@@ -46,6 +46,7 @@ func RegisterGob() {
 		gob.Register(core.ProbeRespMsg{})
 		gob.Register(baseline.CentralQueryMsg{})
 		gob.Register(baseline.CentralRespMsg{})
+		gob.Register(&aggregate.GroupedState{})
 		gob.Register(&aggregate.SumState{})
 		gob.Register(&aggregate.CountState{})
 		gob.Register(&aggregate.ExtremeState{})

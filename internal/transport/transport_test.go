@@ -70,6 +70,24 @@ func TestTCPClusterGroupQueries(t *testing.T) {
 	if got, _ := res.Agg.Value.AsInt(); got != 5 {
 		t.Fatalf("count = %d, want 5", got)
 	}
+	res, err = nodes[3].Query("count(*) group by dc", 10*time.Second)
+	if err != nil {
+		t.Fatalf("grouped: %v", err)
+	}
+	// i%3 over 0..9: dc0 x4, dc1 x3, dc2 x3.
+	want := map[string]int64{"dc0": 4, "dc1": 3, "dc2": 3}
+	if len(res.Groups) != len(want) {
+		t.Fatalf("groups = %v, want keys %v", res.Groups, want)
+	}
+	for k, w := range want {
+		if got, _ := res.Groups[k].Value.AsInt(); got != w {
+			t.Fatalf("group %s = %d, want %d", k, got, w)
+		}
+	}
+	if got, _ := res.Agg.Value.AsInt(); got != 10 {
+		t.Fatalf("grouped total = %d, want 10", got)
+	}
+
 	res, err = nodes[2].Query("max(cpu) where svc = true and dc = dc0", 10*time.Second)
 	if err != nil {
 		t.Fatalf("composite: %v", err)

@@ -112,6 +112,18 @@ func (v Value) String() string {
 	}
 }
 
+// Key renders the value as a canonical group-by key: like String, but
+// with string payloads unquoted, so results read `slice=cs101` rather
+// than `slice="cs101"`. Distinct values of different kinds may share a
+// key (Str("1") and Int(1)), which groups them together — the desired
+// behavior for loosely typed monitoring attributes.
+func (v Value) Key() string {
+	if v.kind == KindString {
+		return v.s
+	}
+	return v.String()
+}
+
 // Parse interprets a query-language literal: true/false, an integer, a
 // float, or a (possibly quoted) string. Unquoted non-numeric tokens
 // parse as strings so `os = linux` works without quoting.

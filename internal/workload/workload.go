@@ -8,8 +8,10 @@
 package workload
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 )
 
 // EventKind distinguishes schedule entries.
@@ -108,6 +110,40 @@ func SliceSizes(rng *rand.Rand, nSlices, maxNodes int) []SliceUsage {
 		for j := i; j > 0 && out[j].Assigned > out[j-1].Assigned; j-- {
 			out[j], out[j-1] = out[j-1], out[j]
 		}
+	}
+	return out
+}
+
+// AssignSlices distributes n nodes over nSlices named groups with the
+// Fig. 2(a) Zipf-like skew — a few big slices, a long tail of small
+// ones — returning each node's slice name ("s0".."s<k-1>"). This is the
+// grouped-query workload: one `group by slice` query aggregates every
+// slice in a single dissemination, versus one query per slice naively.
+func AssignSlices(rng *rand.Rand, n, nSlices int) []string {
+	if nSlices < 1 {
+		nSlices = 1
+	}
+	// Cumulative Zipf weights over slice ranks, same exponent as
+	// SliceSizes so the two views of the trace agree in shape.
+	const s = 0.72
+	cum := make([]float64, nSlices)
+	total := 0.0
+	for r := 0; r < nSlices; r++ {
+		total += 1 / math.Pow(float64(r+1), s)
+		cum[r] = total
+	}
+	names := make([]string, nSlices)
+	for r := range names {
+		names[r] = fmt.Sprintf("s%d", r)
+	}
+	out := make([]string, n)
+	for i := range out {
+		x := rng.Float64() * total
+		r := sort.SearchFloat64s(cum, x)
+		if r >= nSlices {
+			r = nSlices - 1
+		}
+		out[i] = names[r]
 	}
 	return out
 }

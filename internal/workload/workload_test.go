@@ -125,3 +125,22 @@ func TestRenderingJobEnvelope(t *testing.T) {
 		t.Fatal("usage after job end should be 0")
 	}
 }
+
+func TestAssignSlices(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	got := AssignSlices(rng, 2000, 32)
+	if len(got) != 2000 {
+		t.Fatalf("len = %d", len(got))
+	}
+	counts := map[string]int{}
+	for _, s := range got {
+		counts[s]++
+	}
+	if len(counts) < 16 || len(counts) > 32 {
+		t.Fatalf("distinct slices = %d, want most of 32 populated", len(counts))
+	}
+	// Zipf skew: the head slice should dwarf the tail.
+	if counts["s0"] < 3*counts["s31"]+1 {
+		t.Fatalf("no skew: s0=%d s31=%d", counts["s0"], counts["s31"])
+	}
+}

@@ -3,11 +3,19 @@
 // queries over dynamically defined groups of nodes.
 //
 // A query is a triple (query-attribute, aggregation function,
-// group-predicate), written in a small query language:
+// group-predicate), optionally keyed by a `group by` attribute, written
+// in a small query language:
 //
 //	count(*) where service_x = true
 //	avg(mem_util) where service_x = true and apache = true
+//	avg(mem_util) group by slice where apache = true
 //	top3(load) where (slice = cs101 or slice = cs202) and cpu_util < 90
+//
+// A grouped query partitions the answer by each node's value of the
+// group-by attribute — "avg(mem_util) per slice" — and still costs one
+// tree dissemination: per-key sub-aggregates merge hop-by-hop inside
+// the tree rather than as G separate queries. Per-key answers arrive in
+// Result.Groups.
 //
 // Two deployment forms are provided:
 //
@@ -21,6 +29,7 @@ package moara
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/moara/moara/internal/cluster"
@@ -54,10 +63,12 @@ func Bool(v bool) Value { return value.Bool(v) }
 
 // ParseRequest parses query-language text:
 //
-//	[select] <agg>(<attr>) [where <predicate>]
+//	[select] <agg>(<attr>) [group by <attr>] [where <predicate>]
 //
-// with agg ∈ {sum, count, min, max, avg, topN, enum} and predicates
-// composed from (attr op value) terms with and/or/not and parentheses.
+// with agg ∈ {sum, count, min, max, avg, std, topN, enum} and
+// predicates composed from (attr op value) terms with and/or/not and
+// parentheses. The group-by clause may precede or follow the where
+// clause.
 func ParseRequest(text string) (Request, error) {
 	return core.ParseRequest(text)
 }
@@ -214,6 +225,21 @@ func FormatEntries(res Result) []string {
 	out := make([]string, 0, len(res.Agg.Entries))
 	for _, e := range res.Agg.Entries {
 		out = append(out, fmt.Sprintf("%s=%s", shortID(e.Node), e.Value))
+	}
+	return out
+}
+
+// FormatGroups renders a grouped result's per-key answers as
+// "key=value" lines, sorted by key for stable display.
+func FormatGroups(res Result) []string {
+	keys := make([]string, 0, len(res.Groups))
+	for k := range res.Groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, fmt.Sprintf("%s=%s", k, res.Groups[k].Value))
 	}
 	return out
 }

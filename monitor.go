@@ -19,6 +19,8 @@ type Sample struct {
 // user interested in a group continually invokes one-shot queries
 // periodically. Because the group tree adapts to the query stream
 // (§4), steady monitoring converges to O(group) cost per round.
+// Grouped queries ("avg(cpu) group by slice") monitor every key in one
+// stream; pivot the samples with GroupSeries.
 //
 // Monitor drives the simulated cluster's clock; it returns the samples
 // collected over the monitoring window.
@@ -38,6 +40,27 @@ func (s *SimCluster) Monitor(node int, query string, every time.Duration, rounds
 		s.c.RunFor(every)
 	}
 	return out, nil
+}
+
+// GroupSeries pivots grouped monitoring samples into one time series
+// per group key: series[key][r] is key's aggregate value in round r (an
+// invalid Value for rounds where the key was absent or the query
+// failed). Keys are collected across the whole window, so a group that
+// appears mid-run gets a full-length, left-padded series.
+func GroupSeries(samples []Sample) map[string][]Value {
+	series := make(map[string][]Value)
+	for r, s := range samples {
+		if s.Err != nil {
+			continue
+		}
+		for k, agg := range s.Result.Groups {
+			if _, ok := series[k]; !ok {
+				series[k] = make([]Value, len(samples))
+			}
+			series[k][r] = agg.Value
+		}
+	}
+	return series
 }
 
 // MonitorAgent runs the same pattern against a TCP agent on the real
