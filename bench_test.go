@@ -163,6 +163,18 @@ func BenchmarkGroupBy(b *testing.B) {
 	})
 }
 
+// BenchmarkStanding regenerates the poll-vs-standing comparison at the
+// issue's target scale: per-epoch message cost of an installed standing
+// query (scalar and 16-slice grouped) against a fresh one-shot
+// dissemination per epoch at N=300.
+func BenchmarkStanding(b *testing.B) {
+	runBench(b, func() *experiments.Table {
+		return experiments.RunStanding(experiments.StandingOptions{
+			N: 300, Slices: 16, Epochs: 20,
+		})
+	})
+}
+
 // BenchmarkGroupedQueryTurnaround measures end-to-end turnaround of a
 // warmed `group by` query at 512 nodes / 16 keys — the grouped
 // monitoring hot path.

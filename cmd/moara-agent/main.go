@@ -36,6 +36,7 @@ func main() {
 	attrs := flag.String("attrs", "", "comma-separated name=value attributes to publish")
 	shell := flag.Bool("shell", false, "read queries from stdin")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-query timeout in shell mode")
+	samples := flag.Int("samples", 5, "epochs to stream per standing query in shell mode")
 	flag.Parse()
 
 	roster, err := loadRoster(*peers, *peersFile)
@@ -83,6 +84,10 @@ func main() {
 			node.SetAttr(parts[1], v)
 			fmt.Printf("  %s = %s\n", parts[1], v)
 		default:
+			if req, perr := moara.ParseRequest(line); perr == nil && req.Period > 0 {
+				runStanding(node, line, req.Period, *samples)
+				break
+			}
 			res, err := node.Query(line, *timeout)
 			if err != nil {
 				fmt.Printf("  error: %v\n", err)
@@ -100,6 +105,38 @@ func main() {
 				res.Agg, res.Contributors, res.Stats.TotalTime.Round(time.Millisecond))
 		}
 		fmt.Print("moara> ")
+	}
+}
+
+// runStanding streams a standing query's samples to the shell (on the
+// real clock) until the requested number of epochs has been printed,
+// riding MonitorAgent's subscription plumbing.
+func runStanding(node *transport.Node, query string, period time.Duration, samples int) {
+	stop := make(chan struct{})
+	stopOnce := func() {
+		select {
+		case <-stop:
+		default:
+			close(stop)
+		}
+	}
+	deadline := time.AfterFunc(time.Duration(4*(samples+8))*period, stopOnce)
+	defer deadline.Stop()
+	got := 0
+	err := moara.MonitorAgent(node, query, period, stop, func(s moara.Sample) {
+		for _, line := range moara.FormatSample(s) {
+			fmt.Printf("  %s\n", line)
+		}
+		got++
+		if got >= samples {
+			stopOnce()
+		}
+	})
+	if err != nil {
+		fmt.Printf("  error: %v\n", err)
+	}
+	if got < samples {
+		fmt.Println("  timed out waiting for samples")
 	}
 }
 

@@ -119,6 +119,13 @@ var figures = []struct {
 		}
 		return experiments.RunGroupBy(o)
 	}},
+	{"standing", "standing queries: installed epoch re-aggregation vs one-shot polling", func(p string) *experiments.Table {
+		o := experiments.StandingOptions{}
+		if p == "quick" {
+			o = experiments.StandingOptions{N: 300, Slices: 16, Epochs: 20}
+		}
+		return experiments.RunStanding(o)
+	}},
 	{"ablation", "composite cover selection ablation (§6.3)", func(p string) *experiments.Table {
 		o := experiments.AblationOptions{}
 		if p == "quick" {

@@ -9,8 +9,10 @@
 // Shell commands:
 //
 //	<query>                  e.g. avg(cpu_util) where apache = true
+//	<query> every <dur>      standing query: streams samples per epoch
 //	set <node> <attr> <val>  write an attribute on a node's agent
 //	get <node> <attr>        read an attribute
+//	subs [node]              standing-subscription table snapshot
 //	stats                    message-counter snapshot
 //	help, quit
 package main
@@ -22,6 +24,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/moara/moara"
 	"github.com/moara/moara/internal/value"
@@ -32,6 +35,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	lan := flag.Bool("lan", false, "use the Emulab-style LAN latency model")
 	wan := flag.Bool("wan", false, "use the PlanetLab-style WAN latency model")
+	samples := flag.Int("samples", 8, "epochs to stream per standing query")
 	flag.Parse()
 
 	opts := []moara.Option{moara.WithSeed(*seed)}
@@ -54,9 +58,25 @@ func main() {
 		case line == "quit" || line == "exit":
 			return
 		case line == "help":
-			fmt.Println("  <agg>(<attr>) [group by <attr>] [where <pred>] | set <node> <attr> <val> | get <node> <attr> | trees [node] | stats | quit")
+			fmt.Println("  <agg>(<attr>) [group by <attr>] [where <pred>] [every <dur>] | set <node> <attr> <val> | get <node> <attr> | trees [node] | subs [node] | stats | quit")
 		case line == "stats":
 			fmt.Printf("  moara messages since start/reset: %d\n", c.Messages())
+		case line == "subs" || strings.HasPrefix(line, "subs "):
+			parts := strings.Fields(line)
+			node := 0
+			if len(parts) == 2 {
+				if i, err := strconv.Atoi(parts[1]); err == nil && i >= 0 && i < c.Size() {
+					node = i
+				}
+			}
+			infos := c.Subs(node)
+			if len(infos) == 0 {
+				fmt.Println("  (no subscriptions)")
+			}
+			for _, si := range infos {
+				fmt.Printf("  %-12s %-40s root=%-5v every=%-8s epoch=%-4d children=%d targets=%d\n",
+					si.SID, si.Group, si.Root, si.Period, si.Epoch, si.Children, si.Targets)
+			}
 		case strings.HasPrefix(line, "trees"):
 			parts := strings.Fields(line)
 			node := 0
@@ -74,13 +94,17 @@ func main() {
 		case strings.HasPrefix(line, "get "):
 			doGet(c, line)
 		default:
-			runQuery(c, line)
+			runQuery(c, line, *samples)
 		}
 		fmt.Print("moara> ")
 	}
 }
 
-func runQuery(c *moara.SimCluster, q string) {
+func runQuery(c *moara.SimCluster, q string, samples int) {
+	if req, err := moara.ParseRequest(q); err == nil && req.Period > 0 {
+		runStanding(c, q, req.Period, samples)
+		return
+	}
 	res, err := c.Query(0, q)
 	if err != nil {
 		fmt.Printf("  error: %v\n", err)
@@ -106,6 +130,30 @@ func runQuery(c *moara.SimCluster, q string) {
 		fmt.Print(", short-circuited (provably empty)")
 	}
 	fmt.Println()
+}
+
+// runStanding installs a standing query, pumps virtual time for the
+// requested number of epochs while printing each sample, then cancels.
+func runStanding(c *moara.SimCluster, q string, period time.Duration, samples int) {
+	got := 0
+	id, err := c.Subscribe(0, q, func(s moara.Sample) {
+		got++
+		for _, line := range moara.FormatSample(s) {
+			fmt.Printf("  %s\n", line)
+		}
+	})
+	if err != nil {
+		fmt.Printf("  error: %v\n", err)
+		return
+	}
+	for i := 0; got < samples && i < 4*samples+16; i++ {
+		c.RunFor(period)
+	}
+	c.Unsubscribe(0, id)
+	// Drain the cancel cascade in virtual time so `subs` shows the
+	// post-teardown state.
+	c.RunFor(4 * period)
+	fmt.Printf("  cancelled after %d epochs\n", got)
 }
 
 func doSet(c *moara.SimCluster, line string) {

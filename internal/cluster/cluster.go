@@ -184,6 +184,17 @@ func (c *Cluster) Execute(i int, req core.Request) (core.Result, error) {
 	return res, err
 }
 
+// Subscribe installs a standing query at node i. Samples are delivered
+// to cb as the caller pumps virtual time with RunFor/RunWhile.
+func (c *Cluster) Subscribe(i int, req core.Request, cb func(core.Sample)) (core.QueryID, error) {
+	return c.Nodes[i].Subscribe(req, cb)
+}
+
+// Unsubscribe cancels a standing query installed from node i.
+func (c *Cluster) Unsubscribe(i int, id core.QueryID) {
+	c.Nodes[i].Unsubscribe(id)
+}
+
 // ExecuteText parses and runs a query-language string from node i.
 func (c *Cluster) ExecuteText(i int, q string) (core.Result, error) {
 	req, err := core.ParseRequest(q)
@@ -224,4 +235,13 @@ func (c *Cluster) MoaraMessages() int64 {
 // MessagesPerNode is MoaraMessages averaged over the cluster.
 func (c *Cluster) MessagesPerNode() float64 {
 	return float64(c.MoaraMessages()) / float64(len(c.Nodes))
+}
+
+// QueryMessages counts full query-layer traffic: Moara messages plus
+// the overlay route hops that carry query-layer payloads (sub-queries,
+// probes, subscription installs and cancels) to tree roots. The
+// poll-vs-standing comparison uses it so the per-round routing cost a
+// standing query pays only once is accounted on both sides.
+func (c *Cluster) QueryMessages() int64 {
+	return c.MoaraMessages() + c.Net.Counter().ByKind["overlay.route"]
 }

@@ -93,6 +93,16 @@ type Config struct {
 	// the aggregate.OtherKey bucket (memory protection against
 	// high-cardinality group-by attributes). Negative disables the cap.
 	MaxGroupKeys int
+	// SubTTL is the standing-query idle timeout: a node drops a
+	// subscription that has not been renewed (by its parent's install
+	// refresh, or — at the root — by the subscribing front-end) for
+	// this long, so crashed front-ends cannot leak subscription state.
+	SubTTL time.Duration
+	// SubRenewInterval is how often a front-end renews its standing
+	// queries (re-routing the install to the tree root, re-probing
+	// composite covers) and how often the renewed install is refreshed
+	// down-tree. Must be well below SubTTL; default SubTTL/3.
+	SubRenewInterval time.Duration
 }
 
 // Defaults fills unset fields with the paper's parameter choices.
@@ -126,6 +136,12 @@ func (c Config) Defaults() Config {
 		c.MaxGroupKeys = 1024
 	case c.MaxGroupKeys < 0:
 		c.MaxGroupKeys = 0
+	}
+	if c.SubTTL == 0 {
+		c.SubTTL = 45 * time.Second
+	}
+	if c.SubRenewInterval == 0 {
+		c.SubRenewInterval = c.SubTTL / 3
 	}
 	return c
 }

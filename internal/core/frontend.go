@@ -25,6 +25,11 @@ type Request struct {
 	// scalar query. The keyed merge happens in-tree, so a grouped query
 	// still costs one dissemination.
 	GroupBy string
+	// Period makes the request a standing query (the `every` clause):
+	// installed once via Subscribe, it re-aggregates in-tree every
+	// Period and streams one Sample per epoch. Zero for one-shot
+	// queries; Execute rejects requests with a period.
+	Period time.Duration
 }
 
 // ExecStats reports how a query was planned and how long its phases
@@ -82,6 +87,11 @@ type frontend struct {
 	pending    map[QueryID]*feQuery
 	probeIndex map[QueryID]*feQuery
 	probeCache map[string]probeEntry
+
+	// subs holds the standing-query registry (see standing.go);
+	// subProbes indexes in-flight cover re-probes by probe query ID.
+	subs      map[QueryID]*feSub
+	subProbes map[QueryID]*feSub
 }
 
 type probeEntry struct {
@@ -114,6 +124,8 @@ func (fe *frontend) init(n *Node) {
 	fe.pending = make(map[QueryID]*feQuery)
 	fe.probeIndex = make(map[QueryID]*feQuery)
 	fe.probeCache = make(map[string]probeEntry)
+	fe.subs = make(map[QueryID]*feSub)
+	fe.subProbes = make(map[QueryID]*feSub)
 }
 
 func (n *Node) nextQID() QueryID {
@@ -136,6 +148,10 @@ func (fe *frontend) execute(req Request, cb func(Result, error)) {
 	}
 	if req.Attr == "" {
 		cb(Result{}, fmt.Errorf("core: empty query attribute"))
+		return
+	}
+	if req.Period > 0 {
+		cb(Result{}, fmt.Errorf("core: standing query (every %v) must run via Subscribe", req.Period))
 		return
 	}
 	plan := buildPlan(req.Attr, req.Pred, n.cfg.MaxCNFClauses)
@@ -210,6 +226,7 @@ func (fe *frontend) startProbes(fq *feQuery) {
 func (fe *frontend) handleProbeResp(pr ProbeRespMsg) {
 	fq, ok := fe.probeIndex[pr.QID]
 	if !ok {
+		fe.handleSubProbeResp(pr)
 		return
 	}
 	delete(fe.probeIndex, pr.QID)
@@ -230,17 +247,23 @@ func (fe *frontend) handleProbeResp(pr ProbeRespMsg) {
 // lexicographic order), every group (CoverAll ablation), or the most
 // expensive (CoverDearest ablation).
 func (fe *frontend) chooseCover(fq *feQuery) []groupSpec {
+	return fe.chooseCoverFrom(fq.plan, fq.costs)
+}
+
+// chooseCoverFrom is the policy core shared by one-shot queries and
+// standing-query (re-)installs.
+func (fe *frontend) chooseCoverFrom(plan queryPlan, costs map[string]float64) []groupSpec {
 	n := fe.n
 	if n.cfg.Covers == CoverAll {
-		return fq.plan.distinctGroupsOfPlan()
+		return plan.distinctGroupsOfPlan()
 	}
 	fallbackCost := 2 * n.overlay.EstimateSize()
 	best := -1
 	bestCost := 0.0
-	for i, cover := range fq.plan.covers {
+	for i, cover := range plan.covers {
 		cost := 0.0
 		for _, g := range cover {
-			if c, ok := fq.costs[g.canon]; ok {
+			if c, ok := costs[g.canon]; ok {
 				cost += c
 			} else {
 				cost += fallbackCost
@@ -251,14 +274,14 @@ func (fe *frontend) chooseCover(fq *feQuery) []groupSpec {
 			better = best < 0 || cost > bestCost
 		} else {
 			better = best < 0 || cost < bestCost ||
-				(cost == bestCost && len(cover) < len(fq.plan.covers[best])) ||
-				(cost == bestCost && len(cover) == len(fq.plan.covers[best]) && coverKey(cover) < coverKey(fq.plan.covers[best]))
+				(cost == bestCost && len(cover) < len(plan.covers[best])) ||
+				(cost == bestCost && len(cover) == len(plan.covers[best]) && coverKey(cover) < coverKey(plan.covers[best]))
 		}
 		if better {
 			best, bestCost = i, cost
 		}
 	}
-	return fq.plan.covers[best]
+	return plan.covers[best]
 }
 
 func (fe *frontend) startSubQueries(fq *feQuery) {
@@ -355,9 +378,10 @@ func coverCanons(cover []groupSpec) []string {
 
 // ParseRequest builds a Request from query-language text:
 //
-//	<agg>(<attr>) [group by <attr>] [where <predicate>]
+//	<agg>(<attr>) [group by <attr>] [where <predicate>] [every <duration>]
 //
-// e.g. "avg(mem_util) group by slice where apache = true".
+// e.g. "avg(mem_util) group by slice where apache = true" or, as a
+// standing query, "avg(load) where group = db every 2s".
 func ParseRequest(s string) (Request, error) {
 	return parseRequestText(s)
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"time"
 )
 
 // TreeInfo is a read-only snapshot of one group tree's local state,
@@ -52,5 +53,48 @@ func (n *Node) Trees() []TreeInfo {
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Group < out[j].Group })
+	return out
+}
+
+// SubInfo is a read-only snapshot of one standing-query subscription
+// entry at a node (shell introspection and lifecycle tests).
+type SubInfo struct {
+	// SID identifies the subscription.
+	SID QueryID
+	// Group is the tree the entry lives on.
+	Group string
+	// Root marks the tree root (streams samples to the front-end).
+	Root bool
+	// Period is the epoch length.
+	Period time.Duration
+	// Epoch is the local epoch counter.
+	Epoch uint64
+	// Children is the number of children with a buffered epoch report.
+	Children int
+	// Targets is the number of children this node has installed.
+	Targets int
+}
+
+// Subs snapshots every subscription entry this node holds, sorted by
+// group then subscription for stable display.
+func (n *Node) Subs() []SubInfo {
+	out := make([]SubInfo, 0, len(n.subs))
+	for _, sub := range n.subs {
+		out = append(out, SubInfo{
+			SID:      sub.sid,
+			Group:    sub.group.canon,
+			Root:     sub.root,
+			Period:   sub.period,
+			Epoch:    sub.epoch,
+			Children: len(sub.reports),
+			Targets:  len(sub.targets),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Group != out[j].Group {
+			return out[i].Group < out[j].Group
+		}
+		return out[i].SID.String() < out[j].SID.String()
+	})
 	return out
 }

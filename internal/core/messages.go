@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/moara/moara/internal/aggregate"
 	"github.com/moara/moara/internal/ids"
@@ -146,3 +147,112 @@ type ProbeRespMsg struct {
 
 // MsgKind labels the message for accounting.
 func (ProbeRespMsg) MsgKind() string { return "moara.probe" }
+
+// ---------------------------------------------------------------------
+// Standing queries (install-once, epoch-driven re-aggregation)
+
+// SubscribeMsg installs (or renews) a standing query at one group
+// tree's root. It is routed through the overlay like SubQueryMsg; the
+// root then disseminates the subscription down-tree with InstallMsg.
+// The front-end re-sends it periodically as a liveness renewal, which
+// also re-installs the subscription if the tree root moved.
+type SubscribeMsg struct {
+	// SID identifies the subscription (unique per origin front-end).
+	SID QueryID
+	// Group is the canonical group predicate whose tree carries the
+	// subscription; "*:<attr>" selects the global tree.
+	Group string
+	// Eval is the full predicate each member evaluates per epoch;
+	// empty means "same as Group".
+	Eval string
+	// Attr is the query attribute re-read every epoch.
+	Attr string
+	// Spec is the aggregation function.
+	Spec aggregate.Spec
+	// GroupBy keys the per-epoch in-tree aggregation (empty = scalar).
+	GroupBy string
+	// Period is the epoch length.
+	Period time.Duration
+	// ReplyTo is the front-end that receives one SampleMsg per epoch.
+	ReplyTo ids.ID
+}
+
+// MsgKind labels the message for accounting.
+func (SubscribeMsg) MsgKind() string { return "moara.install" }
+
+// InstallMsg disseminates a subscription down a group tree, parent to
+// child (or across an SQP jump). It is re-sent as a periodic down-tree
+// liveness refresh, and immediately to nodes that newly enter the
+// sender's query target set, so the subscription tree tracks the
+// adaptive group tree without re-dissemination per epoch.
+type InstallMsg struct {
+	SID     QueryID
+	Group   string
+	Eval    string
+	Attr    string
+	Spec    aggregate.Spec
+	GroupBy string
+	Period  time.Duration
+	Level   int
+	// Jump marks a separate-query-plane shortcut: the receiver was
+	// reached by bypassing its tree parent (§5); epoch reports flow
+	// back along the shortcut.
+	Jump bool
+	// ReplyTo is the installing node — where the receiver's per-epoch
+	// reports go.
+	ReplyTo ids.ID
+}
+
+// MsgKind labels the message for accounting.
+func (InstallMsg) MsgKind() string { return "moara.install" }
+
+// EpochReportMsg pushes one subtree's per-epoch partial aggregate up
+// the subscription tree — the standing-query analog of ResponseMsg,
+// carrying the same keyed GroupedState payloads, but without any
+// downward dissemination: one message per tree edge per epoch.
+type EpochReportMsg struct {
+	SID   QueryID
+	Group string
+	// Epoch is the sender's local epoch counter (observability only;
+	// parents batch whatever reports arrived since their last tick).
+	Epoch uint64
+	// State is the subtree's keyed partial aggregate.
+	State aggregate.State
+	// Np/Unknown piggyback the subtree's query-plane size, like
+	// ResponseMsg: lazy cost maintenance (§6.3) keeps working — and
+	// cover re-probes stay meaningful — under pure standing load.
+	Np      int
+	Unknown float64
+}
+
+// MsgKind labels the message for accounting.
+func (EpochReportMsg) MsgKind() string { return "moara.epoch" }
+
+// SampleMsg streams one epoch's aggregate from a group tree's root to
+// the subscribing front-end.
+type SampleMsg struct {
+	SID   QueryID
+	Group string
+	Epoch uint64
+	// At is the root's clock at emission; on a shared clock (the
+	// simulator) the front-end derives the delivery lag from it.
+	At time.Duration
+	// State is the whole tree's keyed aggregate for the epoch.
+	State aggregate.State
+}
+
+// MsgKind labels the message for accounting.
+func (SampleMsg) MsgKind() string { return "moara.sample" }
+
+// CancelMsg tears a subscription down. The front-end routes it through
+// the overlay to each group tree's root; nodes forward it parent to
+// child; and any node receiving an EpochReportMsg or SampleMsg for a
+// subscription it does not hold answers with one, so orphaned state
+// self-destructs ahead of the idle-timeout GC.
+type CancelMsg struct {
+	SID   QueryID
+	Group string
+}
+
+// MsgKind labels the message for accounting.
+func (CancelMsg) MsgKind() string { return "moara.cancel" }

@@ -32,6 +32,9 @@ type Node struct {
 	seen     map[seenKey]time.Duration
 	answered map[QueryID]time.Duration
 
+	// subs is the standing-query subscription table (standing.go).
+	subs map[subKey]*subState
+
 	fe frontend
 
 	parseCache map[string]predicate.Expr
@@ -64,6 +67,7 @@ func NewNode(env simnet.Env, cfg Config, overlayCfg pastry.Config) *Node {
 		execs:        make(map[seenKey]*exec),
 		seen:         make(map[seenKey]time.Duration),
 		answered:     make(map[QueryID]time.Duration),
+		subs:         make(map[subKey]*subState),
 		parseCache:   make(map[string]predicate.Expr),
 		groupCache:   make(map[string]groupSpec),
 		targetsCache: make(map[int][]pastry.BroadcastTarget),
@@ -93,9 +97,25 @@ func (n *Node) Self() ids.ID { return n.self }
 // Config returns the node's configuration.
 func (n *Node) Config() Config { return n.cfg }
 
-// Close stops timers.
+// Close stops timers, including every subscription's epoch loop.
 func (n *Node) Close() {
 	n.closed = true
+	for _, sub := range n.subs {
+		if sub.cancelTick != nil {
+			sub.cancelTick()
+		}
+	}
+	for _, fs := range n.fe.subs {
+		if fs.renewCancel != nil {
+			fs.renewCancel()
+		}
+		if fs.probeCancel != nil {
+			fs.probeCancel()
+		}
+		if fs.emptyCancel != nil {
+			fs.emptyCancel()
+		}
+	}
 	n.overlay.Close()
 }
 
@@ -116,6 +136,14 @@ func (n *Node) Handle(from ids.ID, m any) {
 		n.handleStatus(from, msg)
 	case ProbeRespMsg:
 		n.fe.handleProbeResp(msg)
+	case InstallMsg:
+		n.handleInstall(from, msg)
+	case EpochReportMsg:
+		n.handleEpochReport(from, msg)
+	case SampleMsg:
+		n.fe.handleSample(from, msg)
+	case CancelMsg:
+		n.handleCancel(from, msg, false)
 	default:
 		if n.Fallback != nil {
 			n.Fallback(from, m)
@@ -125,12 +153,16 @@ func (n *Node) Handle(from ids.ID, m any) {
 
 // handleRouted receives payloads delivered by the overlay to this node
 // as the owner of their key.
-func (n *Node) handleRouted(_ ids.ID, payload any, _ ids.ID) {
+func (n *Node) handleRouted(from ids.ID, payload any, _ ids.ID) {
 	switch msg := payload.(type) {
 	case SubQueryMsg:
 		n.handleSubQuery(msg)
 	case ProbeMsg:
 		n.handleProbe(msg)
+	case SubscribeMsg:
+		n.handleSubscribe(msg)
+	case CancelMsg:
+		n.handleCancel(from, msg, true)
 	}
 }
 
@@ -261,6 +293,9 @@ func (n *Node) onStateChange(ps *predState) {
 	}
 	ps.touch(n.env.Now())
 	n.maybeSendStatus(ps)
+	// Standing queries follow the adaptive tree: reconcile installed
+	// children with the (possibly changed) query target set.
+	n.syncSubs(ps)
 }
 
 // maybeSendStatus sends the parent a status update when the parent's

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"github.com/moara/moara/internal/aggregate"
 	"github.com/moara/moara/internal/predicate"
@@ -10,9 +11,11 @@ import (
 
 // parseRequestText parses the front-end query language:
 //
-//	[select] <agg>(<attr>) [group by <attr>] [where <predicate>]
+//	[select] <agg>(<attr>) [group by <attr>] [where <predicate>] [every <duration>]
 //
-// The group-by clause may appear before or after the where clause.
+// The group-by and every clauses may appear anywhere relative to the
+// where clause. An every clause makes the request a standing query
+// (Request.Period > 0), run via Subscribe rather than Execute.
 // Examples:
 //
 //	count(*) where service_x = true
@@ -20,6 +23,8 @@ import (
 //	avg(mem_util) group by slice where apache = true
 //	count(*) where apache = true group by os
 //	top3(load) where (service_x = true) and (apache = true)
+//	avg(load) where group = db every 2s
+//	avg(mem_util) group by slice every 500ms
 func parseRequestText(s string) (Request, error) {
 	text := strings.TrimSpace(s)
 	if text == "" {
@@ -51,6 +56,10 @@ func parseRequestText(s string) (Request, error) {
 	}
 
 	rest := strings.TrimSpace(text[closeIdx+1:])
+	rest, period, err := cutEvery(rest)
+	if err != nil {
+		return Request{}, err
+	}
 	rest, groupBy, err := cutGroupBy(rest)
 	if err != nil {
 		return Request{}, err
@@ -70,7 +79,57 @@ func parseRequestText(s string) (Request, error) {
 			return Request{}, err
 		}
 	}
-	return Request{Attr: attrName, Spec: spec, Pred: pred, GroupBy: groupBy}, nil
+	return Request{Attr: attrName, Spec: spec, Pred: pred, GroupBy: groupBy, Period: period}, nil
+}
+
+// cutEvery extracts an optional `every <duration>` clause (a standing
+// query's epoch period), wherever it appears relative to the where and
+// group-by clauses, returning the remaining text with the clause
+// removed. An "every" token not followed by something duration-shaped
+// (e.g. the attribute name in `where every = 1`) is left alone.
+func cutEvery(s string) (rest string, period time.Duration, err error) {
+	found := false
+	toks := tokenize(s)
+	for i := 0; i < len(toks); i++ {
+		if !strings.EqualFold(toks[i].text, "every") {
+			continue
+		}
+		if i+1 >= len(toks) {
+			// A trailing "every" is an ordinary value or attribute
+			// token (`where slice = every`, `group by every`), not a
+			// clause; a genuinely dangling clause still fails in the
+			// where-clause parse downstream.
+			continue
+		}
+		next := toks[i+1].text
+		if !strings.ContainsAny(next[:1], "0123456789.+-") {
+			// Not a clause: "every" used as an attribute name or literal.
+			continue
+		}
+		d, perr := time.ParseDuration(next)
+		if perr != nil {
+			return "", 0, fmt.Errorf("core: bad every duration %q", next)
+		}
+		if d <= 0 {
+			return "", 0, fmt.Errorf("core: every duration must be positive, got %q", next)
+		}
+		if found {
+			return "", 0, fmt.Errorf("core: duplicate every clause in %q", s)
+		}
+		found = true
+		period = d
+		// Splice the clause out by byte offsets (see cutGroupBy) and
+		// rescan from the start so a duplicate clause is rejected.
+		before := s[:toks[i].start]
+		after := ""
+		if i+2 < len(toks) {
+			after = s[toks[i+2].start:]
+		}
+		s = strings.TrimSpace(strings.TrimSpace(before) + " " + after)
+		toks = tokenize(s)
+		i = -1
+	}
+	return strings.TrimSpace(s), period, nil
 }
 
 // cutGroupBy extracts an optional `group by <attr>` clause from the

@@ -2,6 +2,7 @@ package core
 
 import (
 	"testing"
+	"time"
 
 	"github.com/moara/moara/internal/aggregate"
 )
@@ -49,6 +50,73 @@ func TestParseRequestForms(t *testing.T) {
 		}
 		if req.GroupBy != tc.wantBy {
 			t.Errorf("%q: group by = %q, want %q", tc.in, req.GroupBy, tc.wantBy)
+		}
+	}
+}
+
+func TestParseRequestEveryForms(t *testing.T) {
+	tests := []struct {
+		in         string
+		wantPeriod time.Duration
+		wantBy     string
+		wantPred   bool
+	}{
+		{"avg(load) every 2s", 2 * time.Second, "", false},
+		{"avg(load) where group = db every 2s", 2 * time.Second, "", true},
+		{"avg(load) every 2s where group = db", 2 * time.Second, "", true},
+		{"count(*) every 500ms", 500 * time.Millisecond, "", false},
+		{"avg(x) every 1m30s where a = true", 90 * time.Second, "", true},
+		{"avg(mem_util) group by slice every 2s", 2 * time.Second, "slice", false},
+		{"avg(mem_util) every 2s group by slice where a = true", 2 * time.Second, "slice", true},
+		{"avg(mem_util) where a = true group by slice every 250ms", 250 * time.Millisecond, "slice", true},
+		{"count(*) EVERY 3s", 3 * time.Second, "", false},
+		// "every" as an attribute name, literal value (including in
+		// trailing position), group-by key, or inside a quoted string
+		// must not be mistaken for a clause.
+		{"count(*) where every = true", 0, "", true},
+		{"count(*) where slice = every", 0, "", true},
+		{"sum(x) where a = true and slice = every", 0, "", true},
+		{"avg(x) group by every", 0, "every", false},
+		{`count(*) where note = "tick every 2s"`, 0, "", true},
+		// One-shot queries stay period-free.
+		{"avg(mem_util) where a = true", 0, "", true},
+	}
+	for _, tc := range tests {
+		req, err := parseRequestText(tc.in)
+		if err != nil {
+			t.Errorf("parse %q: %v", tc.in, err)
+			continue
+		}
+		if req.Period != tc.wantPeriod {
+			t.Errorf("%q: period = %v, want %v", tc.in, req.Period, tc.wantPeriod)
+		}
+		if req.GroupBy != tc.wantBy {
+			t.Errorf("%q: group by = %q, want %q", tc.in, req.GroupBy, tc.wantBy)
+		}
+		if (req.Pred != nil) != tc.wantPred {
+			t.Errorf("%q: pred present = %v, want %v", tc.in, req.Pred != nil, tc.wantPred)
+		}
+	}
+}
+
+func TestParseRequestEveryErrors(t *testing.T) {
+	bad := []string{
+		"avg(x) every",
+		"avg(x) every 2x",
+		"avg(x) every 2",
+		"avg(x) every 0s",
+		"avg(x) every -5s",
+		"avg(x) every 2s every 3s",
+		"avg(x) every 1s every 1s where a = true",
+		"avg(x) every 2s trailing garbage",
+		"avg(x) group by every 2s",
+		"avg(x) where every 2s",
+		"avg(x) every 2s group by",
+		"avg(x) every 2s where",
+	}
+	for _, in := range bad {
+		if _, err := parseRequestText(in); err == nil {
+			t.Errorf("parse %q should fail", in)
 		}
 	}
 }

@@ -1,0 +1,774 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/moara/moara/internal/aggregate"
+	"github.com/moara/moara/internal/ids"
+)
+
+// This file implements standing queries: the push-based continuous
+// subsystem that amortizes tree construction and dissemination across
+// repeated queries over the same groups. A standing query is installed
+// ONCE down the chosen cover's trees (SubscribeMsg to each root,
+// InstallMsg down-tree); thereafter every subscribed node recomputes
+// its local contribution each epoch and pushes one EpochReportMsg to
+// its parent — one message per tree edge per epoch, roughly half the
+// cost of re-running the one-shot query, which pays for both the
+// downward dissemination and the upward aggregation every round.
+//
+// Liveness is lease-based: the front-end renews the root every
+// SubRenewInterval, renewals cascade down-tree as install refreshes,
+// and any node whose lease goes unrenewed for SubTTL silently drops
+// its state — a crashed front-end (or a crashed parent) cannot leak
+// subscription state. Reports arriving for an unknown subscription are
+// answered with CancelMsg, so orphaned children tear down ahead of the
+// TTL.
+
+// Sample is one epoch of a standing query delivered to the subscriber.
+type Sample struct {
+	// Epoch numbers the sample (1-based, per subscription).
+	Epoch uint64
+	// At is the front-end clock when the sample was delivered.
+	At time.Duration
+	// Lag is the root-emission-to-delivery delay of the slowest tree
+	// in the cover. It compares the two clocks directly, so it is only
+	// meaningful on a shared clock (the simulator).
+	Lag time.Duration
+	// ColdStart marks samples taken before the subscription's
+	// contribution pipeline plausibly filled (install dissemination
+	// plus one epoch per tree level): series plots and benchmarks
+	// should compare warm epochs only. It is re-raised after a cover
+	// flip re-installs the subscription.
+	ColdStart bool
+	// Result is the epoch's aggregate (Stats carries only the group-by
+	// metadata; there is no per-epoch planning).
+	Result Result
+}
+
+// ---------------------------------------------------------------------
+// Node side: the subscription table and the epoch loop
+
+// subKey identifies one subscription entry at a node: a node reached
+// through several trees of a composite cover holds one entry per tree.
+type subKey struct {
+	sid   QueryID
+	group string
+}
+
+// childReport is the most recent epoch report from one child; reports
+// replace (never merge with) their predecessor, so a child skewing
+// across its parent's epoch boundary is counted exactly once.
+type childReport struct {
+	state aggregate.State
+	epoch uint64
+	at    time.Duration
+}
+
+// subState is one standing query's per-(node, group) state.
+type subState struct {
+	sid     QueryID
+	group   groupSpec
+	eval    string
+	attrKey string
+	spec    aggregate.Spec
+	groupBy string
+	period  time.Duration
+	level   int
+
+	// root marks the tree root (reached by overlay routing); it
+	// streams SampleMsg to replyTo instead of reporting to a parent.
+	root    bool
+	parent  ids.ID
+	replyTo ids.ID
+
+	epoch   uint64
+	reports map[ids.ID]*childReport
+	// targets are the children this node currently has installed;
+	// kept in sync with the group tree's query target set.
+	targets map[ids.ID]bool
+
+	lastRenew  time.Duration
+	lastDown   time.Duration
+	cancelTick func()
+}
+
+// handleSubscribe installs or renews a subscription at the tree root.
+func (n *Node) handleSubscribe(sm SubscribeMsg) {
+	if sm.Period <= 0 {
+		return
+	}
+	g, err := n.groupSpecOf(sm.Group)
+	if err != nil {
+		return
+	}
+	ps := n.getPred(g)
+	ps.level = 0
+	ps.hasParent = false
+	key := subKey{sm.SID, sm.Group}
+	sub, ok := n.subs[key]
+	if !ok {
+		sub = &subState{
+			sid:     sm.SID,
+			group:   g,
+			reports: make(map[ids.ID]*childReport),
+			targets: make(map[ids.ID]bool),
+		}
+		n.subs[key] = sub
+	}
+	sub.root = true
+	sub.replyTo = sm.ReplyTo
+	sub.eval = sm.Eval
+	sub.attrKey = sm.Attr
+	sub.spec = sm.Spec
+	sub.groupBy = sm.GroupBy
+	sub.period = sm.Period
+	sub.level = 0
+	sub.lastRenew = n.env.Now()
+	if !ok {
+		n.armEpoch(sub)
+	}
+	// Standing load drives the §4 adaptation machinery exactly like
+	// query load, so the tree prunes under pure subscription traffic.
+	if n.cfg.Mode != ModeGlobal {
+		n.recomputeState(ps)
+		ps.recordQueryEvent(n.self)
+		if ps.runPolicy(n.cfg.Mode, n.cfg.KUpdate, n.cfg.KNoUpdate) {
+			n.recomputeState(ps)
+		}
+		ps.touch(n.env.Now())
+	}
+	n.pushInstalls(sub, ps, n.refreshDue(sub, !ok))
+}
+
+// handleInstall registers (or refreshes) a subscription delivered by a
+// tree parent, then continues the dissemination to this node's own
+// query targets.
+func (n *Node) handleInstall(from ids.ID, im InstallMsg) {
+	if im.Period <= 0 {
+		return
+	}
+	g, err := n.groupSpecOf(im.Group)
+	if err != nil {
+		return
+	}
+	ps := n.getPred(g)
+	ps.touch(n.env.Now())
+	if ps.level < 0 || im.Level < ps.level {
+		ps.level = im.Level
+	}
+	if (!im.Jump && (!ps.hasParent || ps.parent != im.ReplyTo)) ||
+		(im.Jump && !ps.hasParent) {
+		// Same parent-adoption rule as handleQuery: SQP jumps do not
+		// re-parent the update plane, but an orphan accepts anyone.
+		ps.parent = im.ReplyTo
+		ps.hasParent = true
+		ps.lastSentValid = false
+	}
+	key := subKey{im.SID, im.Group}
+	sub, ok := n.subs[key]
+	if !ok {
+		sub = &subState{
+			sid:     im.SID,
+			group:   g,
+			reports: make(map[ids.ID]*childReport),
+			targets: make(map[ids.ID]bool),
+		}
+		n.subs[key] = sub
+	}
+	// A previous root demoted by a moved tree key keeps reporting to
+	// the installer that reached it last.
+	sub.root = false
+	sub.parent = im.ReplyTo
+	sub.eval = im.Eval
+	sub.attrKey = im.Attr
+	sub.spec = im.Spec
+	sub.groupBy = im.GroupBy
+	sub.period = im.Period
+	sub.level = im.Level
+	sub.lastRenew = n.env.Now()
+	if !ok {
+		n.armEpoch(sub)
+	}
+	if n.cfg.Mode != ModeGlobal {
+		n.recomputeState(ps)
+		ps.recordQueryEvent(n.self)
+		if ps.runPolicy(n.cfg.Mode, n.cfg.KUpdate, n.cfg.KNoUpdate) {
+			n.recomputeState(ps)
+		}
+	}
+	n.pushInstalls(sub, ps, n.refreshDue(sub, !ok))
+	if n.cfg.Mode != ModeGlobal {
+		n.maybeSendStatus(ps)
+	}
+}
+
+// refreshDue decides whether this install receipt should cascade a full
+// down-tree refresh (new subscription, or the periodic lease renewal)
+// rather than only installing newly adopted targets.
+func (n *Node) refreshDue(sub *subState, isNew bool) bool {
+	now := n.env.Now()
+	if isNew || now-sub.lastDown >= n.cfg.SubRenewInterval {
+		sub.lastDown = now
+		return true
+	}
+	return false
+}
+
+// subTargets computes the children a subscription should currently be
+// installed at — the same set a one-shot query would be forwarded to.
+func (n *Node) subTargets(ps *predState, level int) []SetEntry {
+	if n.cfg.Mode == ModeGlobal {
+		var targets []SetEntry
+		for _, bt := range n.structural(level) {
+			targets = append(targets, SetEntry{ID: bt.ID, Level: bt.Level})
+		}
+		return targets
+	}
+	var targets []SetEntry
+	for _, e := range ps.qSet {
+		if e.ID != n.self {
+			targets = append(targets, e)
+		}
+	}
+	return targets
+}
+
+// pushInstalls reconciles a subscription's installed children with the
+// current query target set: newcomers are installed immediately,
+// departed targets are cancelled, and — when refresh is set — every
+// current target's lease is renewed.
+func (n *Node) pushInstalls(sub *subState, ps *predState, refresh bool) {
+	targets := n.subTargets(ps, sub.level)
+	im := InstallMsg{
+		SID:     sub.sid,
+		Group:   sub.group.canon,
+		Eval:    sub.eval,
+		Attr:    sub.attrKey,
+		Spec:    sub.spec,
+		GroupBy: sub.groupBy,
+		Period:  sub.period,
+		ReplyTo: n.self,
+	}
+	next := make(map[ids.ID]bool, len(targets))
+	for _, t := range targets {
+		next[t.ID] = true
+		if refresh || !sub.targets[t.ID] {
+			im.Level = t.Level
+			im.Jump = t.Jump
+			n.env.Send(t.ID, im)
+		}
+	}
+	for id := range sub.targets {
+		if !next[id] {
+			n.env.Send(id, CancelMsg{SID: sub.sid, Group: sub.group.canon})
+			delete(sub.reports, id)
+		}
+	}
+	sub.targets = next
+}
+
+// syncSubs re-reconciles every subscription of a group after its tree
+// state changed (a child pruned, un-pruned, or handed off to the SQP),
+// so the subscription tree tracks the adaptive group tree between
+// renewals.
+func (n *Node) syncSubs(ps *predState) {
+	if len(n.subs) == 0 {
+		return
+	}
+	for _, sub := range n.subs {
+		if sub.group.canon == ps.group.canon {
+			n.pushInstalls(sub, ps, false)
+		}
+	}
+}
+
+// armEpoch schedules the subscription's next epoch tick.
+func (n *Node) armEpoch(sub *subState) {
+	sub.cancelTick = n.env.After(sub.period, func() { n.epochTick(sub) })
+}
+
+// epochTick is one epoch at one node: enforce the lease, recompute the
+// local contribution, merge the children's latest reports, and push the
+// batch one hop up-tree (or to the front-end at the root).
+func (n *Node) epochTick(sub *subState) {
+	if n.closed {
+		return
+	}
+	key := subKey{sub.sid, sub.group.canon}
+	if n.subs[key] != sub {
+		return
+	}
+	now := n.env.Now()
+	if now-sub.lastRenew > n.cfg.SubTTL {
+		// Lease expired: the front-end (or our parent) is gone. Drop
+		// silently; our own children expire the same way, or faster
+		// via the cancel-on-unknown-report path.
+		n.dropSub(sub, false)
+		return
+	}
+	sub.epoch++
+	state := aggregate.NewGrouped(sub.spec, n.cfg.MaxGroupKeys)
+	if n.subEval(sub) && n.claimStanding(sub) {
+		state.AddKeyed(n.self, n.groupKey(sub.groupBy), n.localValue(sub.attrKey))
+	}
+	stale := 3 * sub.period
+	for id, rep := range sub.reports {
+		if now-rep.at > stale {
+			delete(sub.reports, id)
+			continue
+		}
+		_ = state.Merge(rep.state)
+	}
+	if sub.root {
+		n.env.Send(sub.replyTo, SampleMsg{
+			SID:   sub.sid,
+			Group: sub.group.canon,
+			Epoch: sub.epoch,
+			At:    now,
+			State: state,
+		})
+	} else if state.Nodes() > 0 || state.Truncated() {
+		// Interior hops skip empty batches: a pure relay with nothing
+		// to add this epoch costs nothing.
+		np, unknown := 0, 0.0
+		if ps, ok := n.preds[sub.group.canon]; ok {
+			np, unknown = ps.np, ps.unknown
+		}
+		n.env.Send(sub.parent, EpochReportMsg{
+			SID:     sub.sid,
+			Group:   sub.group.canon,
+			Epoch:   sub.epoch,
+			State:   state,
+			Np:      np,
+			Unknown: unknown,
+		})
+	}
+	n.armEpoch(sub)
+	// Epoch traffic is query traffic for the adaptation policy: record
+	// it so trees prune (and statuses flow) under pure standing load.
+	if n.cfg.Mode != ModeGlobal {
+		if ps, ok := n.preds[sub.group.canon]; ok {
+			ps.recordQueryEvent(n.self)
+			if ps.runPolicy(n.cfg.Mode, n.cfg.KUpdate, n.cfg.KNoUpdate) {
+				n.recomputeState(ps)
+				n.maybeSendStatus(ps)
+				n.syncSubs(ps)
+			}
+			ps.touch(now)
+		}
+	}
+}
+
+// subEval evaluates the subscription's full predicate locally.
+func (n *Node) subEval(sub *subState) bool {
+	eval := sub.eval
+	if eval == "" {
+		if sub.group.expr == nil {
+			return true
+		}
+		if ps, ok := n.preds[sub.group.canon]; ok {
+			return ps.satLocal
+		}
+		return sub.group.expr.Eval(n.store)
+	}
+	e, err := n.parseCached(eval)
+	if err != nil {
+		return false
+	}
+	return e.Eval(n.store)
+}
+
+// claimStanding reserves this node's per-epoch contribution for exactly
+// one tree of a composite cover: the lexicographically smallest group
+// among the node's live subscriptions for the SID (the standing analog
+// of §6.2's answered-once cache, but stateless and epoch-free).
+func (n *Node) claimStanding(sub *subState) bool {
+	for k := range n.subs {
+		if k.sid == sub.sid && k.group < sub.group.canon {
+			return false
+		}
+	}
+	return true
+}
+
+// handleEpochReport files a child's per-epoch batch; reports for
+// subscriptions this node does not hold are answered with CancelMsg so
+// orphans tear down without waiting out the TTL.
+func (n *Node) handleEpochReport(from ids.ID, em EpochReportMsg) {
+	sub, ok := n.subs[subKey{em.SID, em.Group}]
+	if !ok {
+		n.env.Send(from, CancelMsg{SID: em.SID, Group: em.Group})
+		return
+	}
+	sub.reports[from] = &childReport{state: em.State, epoch: em.Epoch, at: n.env.Now()}
+	// Refresh the child's lazily maintained subtree cost, mirroring
+	// handleResponse's piggyback path.
+	if n.cfg.Mode != ModeGlobal {
+		if ps, psOK := n.preds[em.Group]; psOK {
+			switch cs := ps.children[from]; {
+			case cs == nil:
+				ps.children[from] = &childState{NpOnly: true, Np: em.Np, Unknown: em.Unknown}
+			case cs.NpOnly || !cs.Prune:
+				cs.Np, cs.Unknown = em.Np, em.Unknown
+			}
+			n.recomputeState(ps)
+		}
+	}
+}
+
+// handleCancel tears a subscription down and propagates the cancel to
+// every child this node installed or heard from. Direct cancels are
+// parent-scoped: only the subscription's current parent (or, at the
+// root, the subscribing front-end) may tear it down, so a node handed
+// off across an SQP jump ignores the stale cancel its bypassed old
+// parent cascades while the new parent's install is in flight. Routed
+// cancels (the front-end addressing the tree root through the overlay)
+// are always honored.
+func (n *Node) handleCancel(from ids.ID, cm CancelMsg, routed bool) {
+	sub, ok := n.subs[subKey{cm.SID, cm.Group}]
+	if !ok {
+		return
+	}
+	if !routed {
+		owner := sub.parent
+		if sub.root {
+			owner = sub.replyTo
+		}
+		if from != owner {
+			return
+		}
+	}
+	n.dropSub(sub, true)
+}
+
+// dropSub removes one subscription entry; cascade forwards the cancel
+// to the node's children.
+func (n *Node) dropSub(sub *subState, cascade bool) {
+	key := subKey{sub.sid, sub.group.canon}
+	if n.subs[key] != sub {
+		return
+	}
+	delete(n.subs, key)
+	if sub.cancelTick != nil {
+		sub.cancelTick()
+	}
+	if !cascade {
+		return
+	}
+	cm := CancelMsg{SID: sub.sid, Group: sub.group.canon}
+	for id := range sub.targets {
+		n.env.Send(id, cm)
+	}
+	for id := range sub.reports {
+		if !sub.targets[id] {
+			n.env.Send(id, cm)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Front-end side: the subscription registry
+
+// feSub is one standing query owned by this front-end.
+type feSub struct {
+	sid  QueryID
+	req  Request
+	cb   func(Sample)
+	plan queryPlan
+
+	// groups is the currently installed cover; latest/fresh hold each
+	// tree's newest SampleMsg and whether it arrived since the last
+	// emitted sample.
+	groups map[string]groupSpec
+	latest map[string]SampleMsg
+	fresh  map[string]bool
+
+	epoch     uint64
+	warmAfter uint64
+
+	probeQIDs   map[QueryID]string
+	costs       map[string]float64
+	probeCancel func()
+	renewCancel func()
+	emptyCancel func()
+}
+
+// Subscribe installs a standing query from this node: the request's
+// cover is installed once down each group tree, and cb is invoked with
+// one Sample per Period until Unsubscribe. Like Execute, it must be
+// called on the node's event goroutine and the callback runs there.
+func (n *Node) Subscribe(req Request, cb func(Sample)) (QueryID, error) {
+	return n.fe.subscribe(req, cb)
+}
+
+// Unsubscribe cancels a standing query, tearing its subscription state
+// down across the trees it was installed on.
+func (n *Node) Unsubscribe(sid QueryID) {
+	n.fe.unsubscribe(sid)
+}
+
+func (fe *frontend) subscribe(req Request, cb func(Sample)) (QueryID, error) {
+	n := fe.n
+	if req.Spec.Kind == aggregate.KindInvalid {
+		return QueryID{}, fmt.Errorf("core: invalid aggregation spec")
+	}
+	if req.Attr == "" {
+		return QueryID{}, fmt.Errorf("core: empty query attribute")
+	}
+	if req.Period <= 0 {
+		return QueryID{}, fmt.Errorf("core: standing query needs a period (every clause)")
+	}
+	plan := buildPlan(req.Attr, req.Pred, n.cfg.MaxCNFClauses)
+	plan.groupBy = req.GroupBy
+	fs := &feSub{
+		sid:    n.nextQID(),
+		req:    req,
+		cb:     cb,
+		plan:   plan,
+		groups: make(map[string]groupSpec),
+		latest: make(map[string]SampleMsg),
+		fresh:  make(map[string]bool),
+		costs:  make(map[string]float64),
+	}
+	fe.subs[fs.sid] = fs
+	if plan.empty {
+		// Provably empty: no network state at all, but the stream
+		// still ticks so dashboards see the (empty) series.
+		fe.armEmptyTick(fs)
+		return fs.sid, nil
+	}
+	fe.subPlanAndInstall(fs)
+	fe.armRenew(fs)
+	return fs.sid, nil
+}
+
+func (fe *frontend) unsubscribe(sid QueryID) {
+	fs, ok := fe.subs[sid]
+	if !ok {
+		return
+	}
+	delete(fe.subs, sid)
+	if fs.renewCancel != nil {
+		fs.renewCancel()
+	}
+	if fs.probeCancel != nil {
+		fs.probeCancel()
+	}
+	if fs.emptyCancel != nil {
+		fs.emptyCancel()
+	}
+	for pqid := range fs.probeQIDs {
+		delete(fe.subProbes, pqid)
+	}
+	for _, g := range fs.groups {
+		fe.n.overlay.Route(g.treeKey(), CancelMsg{SID: sid, Group: g.canon})
+	}
+}
+
+// subPlanAndInstall probes composite covers (reusing the §6.3 size
+// probes) and installs the chosen one; trivial plans install directly.
+// A still-unfinished previous probe round (a response lost or slower
+// than the renewal cadence) is abandoned first, so its timeout cannot
+// fire into the new round's state.
+func (fe *frontend) subPlanAndInstall(fs *feSub) {
+	if fs.probeCancel != nil {
+		fs.probeCancel()
+		fs.probeCancel = nil
+	}
+	for pqid := range fs.probeQIDs {
+		delete(fe.subProbes, pqid)
+	}
+	if fs.plan.singleTrivialCover() {
+		fe.setCover(fs, fs.plan.covers[0])
+		return
+	}
+	n := fe.n
+	fs.probeQIDs = make(map[QueryID]string)
+	now := n.env.Now()
+	for _, g := range fs.plan.distinctGroupsOfPlan() {
+		if g.expr == nil {
+			fs.costs[g.canon] = 2 * n.overlay.EstimateSize()
+			continue
+		}
+		if ce, ok := fe.probeCache[g.canon]; ok && n.cfg.ProbeCacheTTL > 0 && now-ce.at <= n.cfg.ProbeCacheTTL {
+			fs.costs[g.canon] = ce.cost
+			continue
+		}
+		pqid := n.nextQID()
+		fs.probeQIDs[pqid] = g.canon
+		fe.subProbes[pqid] = fs
+		n.overlay.Route(g.treeKey(), ProbeMsg{
+			QID:     pqid,
+			Group:   g.canon,
+			Attr:    g.attr,
+			ReplyTo: n.self,
+		})
+	}
+	if len(fs.probeQIDs) == 0 {
+		fe.setCover(fs, fe.chooseCoverFrom(fs.plan, fs.costs))
+		return
+	}
+	fs.probeCancel = n.env.After(n.cfg.ProbeTimeout, func() {
+		for pqid := range fs.probeQIDs {
+			delete(fe.subProbes, pqid)
+		}
+		fs.probeQIDs = nil
+		fs.probeCancel = nil
+		fe.setCover(fs, fe.chooseCoverFrom(fs.plan, fs.costs))
+	})
+}
+
+func (fe *frontend) handleSubProbeResp(pr ProbeRespMsg) {
+	fs, ok := fe.subProbes[pr.QID]
+	if !ok {
+		return
+	}
+	delete(fe.subProbes, pr.QID)
+	delete(fs.probeQIDs, pr.QID)
+	fs.costs[pr.Group] = pr.Cost
+	fe.probeCache[pr.Group] = probeEntry{cost: pr.Cost, at: fe.n.env.Now()}
+	if len(fs.probeQIDs) == 0 {
+		if fs.probeCancel != nil {
+			fs.probeCancel()
+			fs.probeCancel = nil
+		}
+		fe.setCover(fs, fe.chooseCoverFrom(fs.plan, fs.costs))
+	}
+}
+
+// setCover reconciles the installed cover with the chosen one: dropped
+// groups are cancelled, every current group is (re-)subscribed, and a
+// cover flip restarts the warm-up marking.
+func (fe *frontend) setCover(fs *feSub, cover []groupSpec) {
+	n := fe.n
+	next := make(map[string]groupSpec, len(cover))
+	changed := false
+	for _, g := range cover {
+		next[g.canon] = g
+		if _, ok := fs.groups[g.canon]; !ok {
+			changed = true
+		}
+	}
+	for canon, g := range fs.groups {
+		if _, ok := next[canon]; !ok {
+			changed = true
+			n.overlay.Route(g.treeKey(), CancelMsg{SID: fs.sid, Group: canon})
+			delete(fs.latest, canon)
+			delete(fs.fresh, canon)
+		}
+	}
+	fs.groups = next
+	for _, g := range next {
+		eval := fs.plan.evalCanon
+		if eval == g.canon {
+			eval = ""
+		}
+		n.overlay.Route(g.treeKey(), SubscribeMsg{
+			SID:     fs.sid,
+			Group:   g.canon,
+			Eval:    eval,
+			Attr:    fs.req.Attr,
+			Spec:    fs.req.Spec,
+			GroupBy: fs.req.GroupBy,
+			Period:  fs.req.Period,
+			ReplyTo: n.self,
+		})
+	}
+	if changed {
+		fs.warmAfter = fs.epoch + fe.warmupEpochs()
+	}
+}
+
+// warmupEpochs estimates how many epochs the contribution pipeline
+// needs to fill: one per tree level (contributions climb one hop per
+// epoch) plus slack for the install dissemination itself.
+func (fe *frontend) warmupEpochs() uint64 {
+	depth := uint64(2)
+	for est := fe.n.overlay.EstimateSize(); est > 1; est /= ids.Radix {
+		depth++
+	}
+	return depth
+}
+
+// armRenew schedules the periodic lease renewal: composite plans
+// re-probe and may flip covers; trivial plans just re-route the
+// subscription to the (possibly moved) root.
+func (fe *frontend) armRenew(fs *feSub) {
+	n := fe.n
+	fs.renewCancel = n.env.After(n.cfg.SubRenewInterval, func() {
+		if n.closed || fe.subs[fs.sid] != fs {
+			return
+		}
+		fe.subPlanAndInstall(fs)
+		fe.armRenew(fs)
+	})
+}
+
+// armEmptyTick streams empty samples for a provably empty plan.
+func (fe *frontend) armEmptyTick(fs *feSub) {
+	n := fe.n
+	fs.emptyCancel = n.env.After(fs.req.Period, func() {
+		if n.closed || fe.subs[fs.sid] != fs {
+			return
+		}
+		fs.epoch++
+		res := Result{Agg: aggregate.NewGrouped(fs.req.Spec, n.cfg.MaxGroupKeys).Result()}
+		res.Stats.ShortCircuit = true
+		res.Stats.GroupBy = fs.req.GroupBy
+		fs.cb(Sample{Epoch: fs.epoch, At: n.env.Now(), Result: res})
+		fe.armEmptyTick(fs)
+	})
+}
+
+// handleSample consumes a root's per-epoch aggregate, emitting one
+// merged Sample to the subscriber when every tree of the cover has
+// reported for the epoch.
+func (fe *frontend) handleSample(from ids.ID, sm SampleMsg) {
+	n := fe.n
+	fs, ok := fe.subs[sm.SID]
+	if !ok {
+		n.env.Send(from, CancelMsg{SID: sm.SID, Group: sm.Group})
+		return
+	}
+	if _, ok := fs.groups[sm.Group]; !ok {
+		// A tree from a flipped-away cover is still streaming.
+		n.env.Send(from, CancelMsg{SID: sm.SID, Group: sm.Group})
+		return
+	}
+	fs.latest[sm.Group] = sm
+	fs.fresh[sm.Group] = true
+	if len(fs.fresh) < len(fs.groups) {
+		return
+	}
+	clear(fs.fresh)
+	fs.epoch++
+	now := n.env.Now()
+	agg := aggregate.NewGrouped(fs.req.Spec, n.cfg.MaxGroupKeys)
+	var lag time.Duration
+	for canon := range fs.groups {
+		s, ok := fs.latest[canon]
+		if !ok || s.State == nil {
+			continue
+		}
+		_ = agg.Merge(s.State)
+		if l := now - s.At; l > lag {
+			lag = l
+		}
+	}
+	res := Result{Agg: agg.Result(), Contributors: agg.Nodes()}
+	res.Stats.GroupBy = fs.req.GroupBy
+	if fs.req.GroupBy != "" {
+		res.Groups = agg.Results()
+		res.Truncated = agg.Truncated()
+		res.Stats.GroupKeys = agg.KeyCount()
+	}
+	fs.cb(Sample{
+		Epoch:     fs.epoch,
+		At:        now,
+		Lag:       lag,
+		ColdStart: fs.epoch <= fs.warmAfter,
+		Result:    res,
+	})
+}

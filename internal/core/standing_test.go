@@ -1,0 +1,305 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/moara/moara/internal/value"
+)
+
+// standingConfig shrinks the lease timings so lifecycle behavior is
+// observable in a short simulated window.
+func standingConfig() Config {
+	return Config{
+		SubTTL:           3 * time.Second,
+		SubRenewInterval: time.Second,
+	}
+}
+
+// subEntries counts subscription entries across the whole cluster.
+func subEntries(nodes []*Node) int {
+	total := 0
+	for _, n := range nodes {
+		total += len(n.Subs())
+	}
+	return total
+}
+
+// subEntriesFor counts cluster-wide subscription entries on one group.
+func subEntriesFor(nodes []*Node, group string) int {
+	total := 0
+	for _, n := range nodes {
+		for _, si := range n.Subs() {
+			if si.Group == group {
+				total++
+			}
+		}
+	}
+	return total
+}
+
+func mustSubscribe(t *testing.T, n *Node, text string, cb func(Sample)) QueryID {
+	t.Helper()
+	req, err := ParseRequest(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sid, err := n.Subscribe(req, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sid
+}
+
+// TestStandingBasic drives one subset standing query end to end: the
+// install disseminates once, warm epochs report the exact member
+// count, and samples arrive once per period.
+func TestStandingBasic(t *testing.T) {
+	net, nodes := miniCluster(t, 32, standingConfig())
+	for i, n := range nodes {
+		n.Store().Set("g", value.Bool(i < 5))
+	}
+	var samples []Sample
+	mustSubscribe(t, nodes[0], "count(*) where g = true every 200ms", func(s Sample) {
+		samples = append(samples, s)
+	})
+	net.RunFor(4 * time.Second)
+	if len(samples) < 10 {
+		t.Fatalf("samples = %d, want ~20", len(samples))
+	}
+	warm := 0
+	for i, s := range samples {
+		if i > 0 && s.Epoch != samples[i-1].Epoch+1 {
+			t.Fatalf("epoch %d follows %d", s.Epoch, samples[i-1].Epoch)
+		}
+		if s.ColdStart {
+			continue
+		}
+		warm++
+		if v, _ := s.Result.Agg.Value.AsInt(); v != 5 {
+			t.Errorf("epoch %d: count = %d, want 5", s.Epoch, v)
+		}
+		if s.Result.Contributors != 5 {
+			t.Errorf("epoch %d: contributors = %d", s.Epoch, s.Result.Contributors)
+		}
+	}
+	if warm < 5 {
+		t.Fatalf("warm samples = %d", warm)
+	}
+	if gap := samples[len(samples)-1].At - samples[len(samples)-2].At; gap < 150*time.Millisecond || gap > 400*time.Millisecond {
+		t.Fatalf("sample gap = %v, want ~200ms", gap)
+	}
+}
+
+// TestStandingTracksAttributeChanges checks that per-epoch local
+// re-evaluation picks up membership and value changes without any
+// re-installation.
+func TestStandingTracksAttributeChanges(t *testing.T) {
+	net, nodes := miniCluster(t, 16, standingConfig())
+	for i, n := range nodes {
+		n.Store().Set("g", value.Bool(i < 4))
+		n.Store().Set("load", value.Int(10))
+	}
+	var last Sample
+	mustSubscribe(t, nodes[0], "sum(load) where g = true every 100ms", func(s Sample) { last = s })
+	net.RunFor(2 * time.Second)
+	if v, _ := last.Result.Agg.Value.AsInt(); v != 40 {
+		t.Fatalf("sum = %d, want 40", v)
+	}
+	// A member's value changes; the next epochs must reflect it.
+	nodes[1].Store().Set("load", value.Int(60))
+	net.RunFor(time.Second)
+	if v, _ := last.Result.Agg.Value.AsInt(); v != 90 {
+		t.Fatalf("sum after value change = %d, want 90", v)
+	}
+	// A node joins the group mid-stream.
+	nodes[9].Store().Set("g", value.Bool(true))
+	net.RunFor(2 * time.Second)
+	if v, _ := last.Result.Agg.Value.AsInt(); v != 100 {
+		t.Fatalf("sum after join = %d, want 100", v)
+	}
+}
+
+// TestStandingCancelMidStream unsubscribes a live stream and verifies
+// both that samples stop and that no node retains subscription state.
+func TestStandingCancelMidStream(t *testing.T) {
+	net, nodes := miniCluster(t, 32, standingConfig())
+	for i, n := range nodes {
+		n.Store().Set("g", value.Bool(i%3 == 0))
+	}
+	got := 0
+	sid := mustSubscribe(t, nodes[0], "count(*) where g = true every 200ms", func(Sample) { got++ })
+	net.RunFor(2 * time.Second)
+	if got == 0 {
+		t.Fatal("no samples before cancel")
+	}
+	if subEntries(nodes) == 0 {
+		t.Fatal("no subscription state while live")
+	}
+	nodes[0].Unsubscribe(sid)
+	// Let the cancel cascade (one hop per level) and in-flight reports
+	// drain.
+	net.RunFor(2 * time.Second)
+	stopped := got
+	net.RunFor(2 * time.Second)
+	if got != stopped {
+		t.Fatalf("samples kept arriving after unsubscribe: %d -> %d", stopped, got)
+	}
+	if n := subEntries(nodes); n != 0 {
+		t.Fatalf("leaked %d subscription entries after cancel", n)
+	}
+}
+
+// TestStandingFrontendDeathGC kills the subscribing front-end without
+// any teardown protocol: lease renewals stop, the root's subscription
+// expires, and every downstream entry is garbage-collected by the idle
+// timeout (helped along by cancel-on-unknown-report).
+func TestStandingFrontendDeathGC(t *testing.T) {
+	net, nodes := miniCluster(t, 32, standingConfig())
+	for i, n := range nodes {
+		n.Store().Set("g", value.Bool(i%4 == 0))
+	}
+	mustSubscribe(t, nodes[0], "count(*) where g = true every 200ms", func(Sample) {})
+	net.RunFor(2 * time.Second)
+	if subEntries(nodes) == 0 {
+		t.Fatal("no subscription state while live")
+	}
+	// Crash the front-end: no unsubscribe, no more renewals.
+	nodes[0].Close()
+	// SubTTL (3s) plus slack: everything must be gone.
+	net.RunFor(8 * time.Second)
+	if n := subEntries(nodes[1:]); n != 0 {
+		t.Fatalf("leaked %d subscription entries after front-end death", n)
+	}
+}
+
+// TestStandingCoverFlipReinstall exercises composite standing queries:
+// the cover is chosen by size probes at install time, and the periodic
+// renewal re-probes and re-installs onto a cheaper cover when relative
+// group sizes flip, cancelling the old trees.
+func TestStandingCoverFlipReinstall(t *testing.T) {
+	net, nodes := miniCluster(t, 32, standingConfig())
+	// Phase 1: a is tiny, b is large; the intersection is {0,1,2}.
+	for i, n := range nodes {
+		n.Store().Set("a", value.Bool(i < 3))
+		n.Store().Set("b", value.Bool(i < 20))
+	}
+	var last Sample
+	mustSubscribe(t, nodes[0], "count(*) where a = true and b = true every 200ms",
+		func(s Sample) { last = s })
+	net.RunFor(3 * time.Second)
+	if v, _ := last.Result.Agg.Value.AsInt(); v != 3 {
+		t.Fatalf("phase 1 count = %d, want 3", v)
+	}
+	if subEntriesFor(nodes, "a = true") == 0 {
+		t.Fatal("phase 1: expected the subscription on the small group a")
+	}
+	if subEntriesFor(nodes, "b = true") != 0 {
+		t.Fatal("phase 1: cover should not include b")
+	}
+
+	// Phase 2: sizes flip (intersection unchanged). Warm b's tree with
+	// a few one-shot queries — the usual ambient load — so its status
+	// plane adapts and the renewal's size probe sees its real cost.
+	for i, n := range nodes {
+		n.Store().Set("a", value.Bool(i < 20))
+		n.Store().Set("b", value.Bool(i < 3))
+	}
+	req, err := ParseRequest("count(*) where b = true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 6; q++ {
+		if res, err := runQuery(t, net, nodes[0], req); err != nil || res.Contributors != 3 {
+			t.Fatalf("warm query %d: %v (res %+v)", q, err, res)
+		}
+		net.RunFor(300 * time.Millisecond)
+	}
+	// Renewals re-probe every second; give the flip and the old tree's
+	// cancel cascade (plus the TTL backstop) time to settle.
+	net.RunFor(8 * time.Second)
+	if subEntriesFor(nodes, "b = true") == 0 {
+		t.Fatal("phase 2: cover should have flipped to b")
+	}
+	if n := subEntriesFor(nodes, "a = true"); n != 0 {
+		t.Fatalf("phase 2: %d stale entries left on a", n)
+	}
+	if last.ColdStart {
+		t.Fatal("stream should be warm again after the flip")
+	}
+	if v, _ := last.Result.Agg.Value.AsInt(); v != 3 {
+		t.Fatalf("phase 2 count = %d, want 3", v)
+	}
+}
+
+// TestStandingGrouped checks that a grouped standing query streams
+// per-key answers that track the group-by attribute.
+func TestStandingGrouped(t *testing.T) {
+	net, nodes := miniCluster(t, 24, standingConfig())
+	for i, n := range nodes {
+		n.Store().Set("slice", value.Str([]string{"s0", "s1", "s2"}[i%3]))
+	}
+	var last Sample
+	mustSubscribe(t, nodes[0], "count(*) group by slice every 200ms", func(s Sample) { last = s })
+	net.RunFor(3 * time.Second)
+	if last.ColdStart {
+		t.Fatal("stream still cold after 15 epochs")
+	}
+	if len(last.Result.Groups) != 3 {
+		t.Fatalf("groups = %v", last.Result.Groups)
+	}
+	for k, r := range last.Result.Groups {
+		if v, _ := r.Value.AsInt(); v != 8 {
+			t.Errorf("%s = %d, want 8", k, v)
+		}
+	}
+}
+
+// TestStandingEmptyPlan checks that a provably empty standing query
+// still ticks (empty samples) without touching the network.
+func TestStandingEmptyPlan(t *testing.T) {
+	net, nodes := miniCluster(t, 8, standingConfig())
+	got := 0
+	mustSubscribe(t, nodes[0], "count(*) where a = true and a = false every 100ms",
+		func(s Sample) {
+			got++
+			if s.Result.Contributors != 0 || !s.Result.Stats.ShortCircuit {
+				t.Errorf("empty plan sample: %+v", s.Result)
+			}
+		})
+	before := subEntries(nodes)
+	net.RunFor(time.Second)
+	if got < 5 {
+		t.Fatalf("empty-plan samples = %d", got)
+	}
+	if subEntries(nodes) != before {
+		t.Fatal("empty plan must not install network state")
+	}
+}
+
+// TestSubscribeValidation covers the rejection paths on both sides:
+// Subscribe without a period, Execute with one.
+func TestSubscribeValidation(t *testing.T) {
+	_, nodes := miniCluster(t, 4, standingConfig())
+	if _, err := nodes[0].Subscribe(Request{}, func(Sample) {}); err == nil {
+		t.Error("invalid spec should fail")
+	}
+	req, err := ParseRequest("count(*)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nodes[0].Subscribe(req, func(Sample) {}); err == nil {
+		t.Error("subscribe without a period should fail")
+	}
+	req.Period = time.Second
+	done := false
+	nodes[0].Execute(req, func(_ Result, err error) {
+		done = true
+		if err == nil {
+			t.Error("one-shot execute of a standing query should fail")
+		}
+	})
+	if !done {
+		t.Fatal("execute callback not invoked")
+	}
+}

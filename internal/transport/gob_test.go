@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"reflect"
 	"testing"
+	"time"
 
 	"github.com/moara/moara/internal/aggregate"
 	"github.com/moara/moara/internal/baseline"
@@ -50,6 +51,14 @@ func TestGobRoundTripAllWireTypes(t *testing.T) {
 			UpdateSet: []core.SetEntry{{ID: nodeA, Level: 1}}},
 		core.ProbeMsg{QID: qid, Group: "g", Attr: "cpu", ReplyTo: nodeA},
 		core.ProbeRespMsg{QID: qid, Group: "g", Cost: 12.5},
+		core.SubscribeMsg{SID: qid, Group: "slice = cs101", Eval: "a = 1", Attr: "mem_util",
+			Spec: spec, GroupBy: "slice", Period: 2 * time.Second, ReplyTo: nodeB},
+		core.InstallMsg{SID: qid, Group: "g", Eval: "e", Attr: "mem_util", Spec: spec,
+			GroupBy: "slice", Period: 500 * time.Millisecond, Level: 2, Jump: true, ReplyTo: nodeA},
+		core.EpochReportMsg{SID: qid, Group: "g", Epoch: 12, State: grouped, Np: 5, Unknown: 1.5},
+		core.SampleMsg{SID: qid, Group: "g", Epoch: 13, At: 42 * time.Second, State: grouped},
+		core.SampleMsg{SID: qid, Group: "g", Epoch: 14, State: sum},
+		core.CancelMsg{SID: qid, Group: "g"},
 		baseline.CentralQueryMsg{Num: 5, Attr: "cpu", Spec: spec, Pred: "a = 1"},
 		baseline.CentralRespMsg{Num: 5, State: sum},
 		core.ResponseMsg{QID: qid, Group: "g", State: sum},

@@ -44,6 +44,11 @@ func RegisterGob() {
 		gob.Register(core.StatusMsg{})
 		gob.Register(core.ProbeMsg{})
 		gob.Register(core.ProbeRespMsg{})
+		gob.Register(core.SubscribeMsg{})
+		gob.Register(core.InstallMsg{})
+		gob.Register(core.EpochReportMsg{})
+		gob.Register(core.SampleMsg{})
+		gob.Register(core.CancelMsg{})
 		gob.Register(baseline.CentralQueryMsg{})
 		gob.Register(baseline.CentralRespMsg{})
 		gob.Register(&aggregate.GroupedState{})
@@ -209,6 +214,24 @@ func (n *Node) Execute(req core.Request, timeout time.Duration) (core.Result, er
 	case <-n.closed:
 		return core.Result{}, errors.New("transport: node closed")
 	}
+}
+
+// Subscribe installs a standing query from this agent; fn receives one
+// sample per epoch until Unsubscribe. fn runs on the agent's serialized
+// core goroutine and must not call back into the node — hand samples
+// off to a channel.
+func (n *Node) Subscribe(req core.Request, fn func(core.Sample)) (core.QueryID, error) {
+	var (
+		id  core.QueryID
+		err error
+	)
+	n.Do(func(c *core.Node) { id, err = c.Subscribe(req, fn) })
+	return id, err
+}
+
+// Unsubscribe cancels a standing query installed from this agent.
+func (n *Node) Unsubscribe(id core.QueryID) {
+	n.Do(func(c *core.Node) { c.Unsubscribe(id) })
 }
 
 // Close shuts the agent down and waits for its goroutines.

@@ -17,6 +17,18 @@
 // the tree rather than as G separate queries. Per-key answers arrive in
 // Result.Groups.
 //
+// An `every <duration>` clause makes the query a standing query:
+//
+//	avg(load) where group = db every 2s
+//	avg(mem_util) group by slice every 500ms
+//
+// Installed once via Subscribe, a standing query re-aggregates in-tree
+// every epoch — each subscribed node pushes one report per epoch to its
+// tree parent, and the root streams one Sample per epoch back — so
+// steady monitoring costs about half of re-running the one-shot query
+// each round, with no per-round dissemination at all. Monitor and
+// MonitorAgent are built on it.
+//
 // Two deployment forms are provided:
 //
 //   - SimCluster: an in-process simulated deployment on a virtual
@@ -63,12 +75,13 @@ func Bool(v bool) Value { return value.Bool(v) }
 
 // ParseRequest parses query-language text:
 //
-//	[select] <agg>(<attr>) [group by <attr>] [where <predicate>]
+//	[select] <agg>(<attr>) [group by <attr>] [where <predicate>] [every <duration>]
 //
 // with agg ∈ {sum, count, min, max, avg, std, topN, enum} and
 // predicates composed from (attr op value) terms with and/or/not and
-// parentheses. The group-by clause may precede or follow the where
-// clause.
+// parentheses. The group-by and every clauses may precede or follow
+// the where clause. An every clause makes the request a standing query
+// (run it with Subscribe, not Query/Execute).
 func ParseRequest(text string) (Request, error) {
 	return core.ParseRequest(text)
 }
@@ -180,6 +193,33 @@ func (s *SimCluster) Execute(i int, req Request) (Result, error) {
 	return s.c.Execute(i, req)
 }
 
+// SubID identifies a standing query installed with Subscribe.
+type SubID = core.QueryID
+
+// Subscribe installs a standing query (an `every <duration>` query)
+// from node i. The query is disseminated once down the chosen cover's
+// trees; thereafter every reached node re-aggregates in-tree each
+// epoch and fn receives one Sample per epoch — as virtual time is
+// pumped with RunFor (or Monitor) — until Unsubscribe. Early samples
+// are marked ColdStart while the contribution pipeline fills.
+func (s *SimCluster) Subscribe(node int, query string, fn func(Sample)) (SubID, error) {
+	req, err := ParseRequest(query)
+	if err != nil {
+		return SubID{}, err
+	}
+	if req.Period <= 0 {
+		return SubID{}, fmt.Errorf("moara: standing query needs an 'every <duration>' clause")
+	}
+	return s.c.Subscribe(node, req, func(cs core.Sample) { fn(fromCoreSample(cs)) })
+}
+
+// Unsubscribe cancels a standing query, tearing down its subscription
+// state across the cluster (propagated down-tree, with an idle-timeout
+// backstop for unreachable branches).
+func (s *SimCluster) Unsubscribe(node int, id SubID) {
+	s.c.Unsubscribe(node, id)
+}
+
 // RunFor advances virtual time (status propagation, tree adaptation).
 func (s *SimCluster) RunFor(d time.Duration) { s.c.RunFor(d) }
 
@@ -195,6 +235,9 @@ func (s *SimCluster) NodeID(i int) string { return s.c.IDs[i].String() }
 // Trees snapshots node i's per-group tree state (§4/§5 variables) for
 // inspection.
 func (s *SimCluster) Trees(i int) []core.TreeInfo { return s.c.Nodes[i].Trees() }
+
+// Subs snapshots node i's standing-subscription table for inspection.
+func (s *SimCluster) Subs(i int) []core.SubInfo { return s.c.Nodes[i].Subs() }
 
 // IndexOfShort resolves an 8-hex-digit short node ID (as printed in
 // enum/top-k results) back to a node index, or -1.
@@ -227,6 +270,29 @@ func FormatEntries(res Result) []string {
 		out = append(out, fmt.Sprintf("%s=%s", shortID(e.Node), e.Value))
 	}
 	return out
+}
+
+// FormatSample renders one monitoring sample as display lines: a
+// header carrying the epoch and a cold-start marker, then per-key
+// lines for grouped results, or a single aggregate line for scalar
+// ones. Both shells use it to stream standing queries.
+func FormatSample(s Sample) []string {
+	cold := ""
+	if s.ColdStart {
+		cold = " (cold)"
+	}
+	if s.Result.Groups != nil {
+		lines := []string{fmt.Sprintf("epoch %d%s:", s.Epoch, cold)}
+		for _, l := range FormatGroups(s.Result) {
+			lines = append(lines, "  "+l)
+		}
+		if s.Result.Truncated {
+			lines = append(lines, "  (truncated: key cap exceeded, remainder under <other>)")
+		}
+		return lines
+	}
+	return []string{fmt.Sprintf("epoch %d%s: %s (%d contributors)",
+		s.Epoch, cold, s.Result.Agg, s.Result.Contributors)}
 }
 
 // FormatGroups renders a grouped result's per-key answers as

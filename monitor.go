@@ -3,41 +3,76 @@ package moara
 import (
 	"fmt"
 	"time"
+
+	"github.com/moara/moara/internal/core"
 )
 
-// Sample is one observation from a Monitor.
+// Sample is one epoch of a monitored (standing) query.
 type Sample struct {
-	// At is the (virtual) time the query was issued.
+	// At is the (virtual) time the sample was delivered.
 	At time.Duration
-	// Result is the query's answer.
+	// Epoch numbers the sample within its subscription (1-based).
+	Epoch uint64
+	// ColdStart marks samples taken while the subscription's pipeline
+	// was still filling (install dissemination plus one epoch per tree
+	// level, and again after a cover flip re-install). Round 0 of any
+	// monitoring run includes tree construction, so series plots and
+	// benchmarks should compare warm epochs only: filter on !ColdStart
+	// instead of silently dropping the asymmetry.
+	ColdStart bool
+	// Result is the epoch's aggregate.
 	Result Result
-	// Err is non-nil when that round failed.
+	// Err is non-nil when the round failed (subscription setup errors;
+	// per-epoch delivery has no failure callback).
 	Err error
 }
 
-// Monitor implements the paper's continuous-monitoring pattern (§1): a
-// user interested in a group continually invokes one-shot queries
-// periodically. Because the group tree adapts to the query stream
-// (§4), steady monitoring converges to O(group) cost per round.
-// Grouped queries ("avg(cpu) group by slice") monitor every key in one
-// stream; pivot the samples with GroupSeries.
+func fromCoreSample(cs core.Sample) Sample {
+	return Sample{At: cs.At, Epoch: cs.Epoch, ColdStart: cs.ColdStart, Result: cs.Result}
+}
+
+// Monitor implements the paper's continuous-monitoring pattern (§1) on
+// the standing-query subsystem: instead of re-executing a one-shot
+// query per round (a full dissemination per sample), the query is
+// installed once down the group trees and every round is an in-tree
+// epoch re-aggregation — one push message per tree edge. Grouped
+// queries ("avg(cpu) group by slice") monitor every key in one stream;
+// pivot the samples with GroupSeries.
 //
-// Monitor drives the simulated cluster's clock; it returns the samples
-// collected over the monitoring window.
+// Monitor drives the simulated cluster's clock; it returns the rounds
+// samples collected over the monitoring window, the earliest of which
+// are marked ColdStart while the contribution pipeline fills.
 func (s *SimCluster) Monitor(node int, query string, every time.Duration, rounds int) ([]Sample, error) {
 	req, err := ParseRequest(query)
 	if err != nil {
 		return nil, err
 	}
-	if every <= 0 || rounds <= 0 {
+	// The query's own `every` clause takes precedence over the every
+	// parameter, matching MonitorAgent.
+	if req.Period <= 0 {
+		req.Period = every
+	}
+	if req.Period <= 0 || rounds <= 0 {
 		return nil, fmt.Errorf("moara: monitor needs a positive interval and round count")
 	}
+	every = req.Period
 	out := make([]Sample, 0, rounds)
-	for r := 0; r < rounds; r++ {
-		at := s.c.Net.Now()
-		res, err := s.c.Execute(node, req)
-		out = append(out, Sample{At: at, Result: res, Err: err})
+	id, err := s.c.Subscribe(node, req, func(cs core.Sample) {
+		if len(out) < rounds {
+			out = append(out, fromCoreSample(cs))
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer s.c.Unsubscribe(node, id)
+	// One sample arrives per period; the generous cap keeps a stalled
+	// subscription from hanging the caller.
+	for i := 0; len(out) < rounds && i < 4*rounds+64; i++ {
 		s.c.RunFor(every)
+	}
+	if len(out) < rounds {
+		return out, fmt.Errorf("moara: monitor collected %d/%d samples", len(out), rounds)
 	}
 	return out, nil
 }
@@ -63,23 +98,39 @@ func GroupSeries(samples []Sample) map[string][]Value {
 	return series
 }
 
-// MonitorAgent runs the same pattern against a TCP agent on the real
-// clock, invoking fn after every round until stop is closed.
+// MonitorAgent runs the same standing-query pattern against a TCP
+// agent on the real clock, invoking fn after every epoch until stop is
+// closed. The query's own `every` clause takes precedence over the
+// every parameter. Samples that arrive while fn is running are dropped
+// rather than buffered without bound.
 func MonitorAgent(a *Agent, query string, every time.Duration, stop <-chan struct{}, fn func(Sample)) error {
 	req, err := ParseRequest(query)
 	if err != nil {
 		return err
 	}
-	ticker := time.NewTicker(every)
-	defer ticker.Stop()
-	start := time.Now()
+	if req.Period <= 0 {
+		req.Period = every
+	}
+	if req.Period <= 0 {
+		return fmt.Errorf("moara: monitor needs a positive interval")
+	}
+	ch := make(chan Sample, 16)
+	id, err := a.Subscribe(req, func(cs core.Sample) {
+		select {
+		case ch <- fromCoreSample(cs):
+		default:
+		}
+	})
+	if err != nil {
+		return err
+	}
+	defer a.Unsubscribe(id)
 	for {
-		res, err := a.Execute(req, every)
-		fn(Sample{At: time.Since(start), Result: res, Err: err})
 		select {
 		case <-stop:
 			return nil
-		case <-ticker.C:
+		case s := <-ch:
+			fn(s)
 		}
 	}
 }
