@@ -175,6 +175,18 @@ func BenchmarkStanding(b *testing.B) {
 	})
 }
 
+// BenchmarkMultiQuery regenerates the concurrent-workload comparison at
+// the issue's target scale: wire vs logical messages per epoch for 1-8
+// concurrent standing queries (plus one-shot bursts and the mixed
+// workload.MultiQuery mix) under per-destination coalescing at N=300.
+func BenchmarkMultiQuery(b *testing.B) {
+	runBench(b, func() *experiments.Table {
+		return experiments.RunMultiQuery(experiments.MultiQueryOptions{
+			N: 300, Slices: 16, Epochs: 24,
+		})
+	})
+}
+
 // BenchmarkGroupedQueryTurnaround measures end-to-end turnaround of a
 // warmed `group by` query at 512 nodes / 16 keys — the grouped
 // monitoring hot path.

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"github.com/moara/moara"
+	"github.com/moara/moara/internal/core"
 	"github.com/moara/moara/internal/transport"
 	"github.com/moara/moara/internal/value"
 )
@@ -37,13 +38,21 @@ func main() {
 	shell := flag.Bool("shell", false, "read queries from stdin")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-query timeout in shell mode")
 	samples := flag.Int("samples", 5, "epochs to stream per standing query in shell mode")
+	coalesce := flag.Duration("coalesce", 0,
+		"wire coalescing window (0 = one handler turn, -1ns = off)")
 	flag.Parse()
 
 	roster, err := loadRoster(*peers, *peersFile)
 	if err != nil {
 		fatal(err)
 	}
-	node, err := transport.Listen(*listen, roster, transport.Options{})
+	var opts transport.Options
+	if *coalesce < 0 {
+		opts.Node.CoalesceWindow = core.CoalesceOff
+	} else {
+		opts.Node.CoalesceWindow = *coalesce
+	}
+	node, err := transport.Listen(*listen, roster, opts)
 	if err != nil {
 		fatal(err)
 	}

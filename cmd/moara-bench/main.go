@@ -126,6 +126,13 @@ var figures = []struct {
 		}
 		return experiments.RunStanding(o)
 	}},
+	{"multiquery", "concurrent queries: per-destination wire coalescing vs Q", func(p string) *experiments.Table {
+		o := experiments.MultiQueryOptions{}
+		if p == "quick" {
+			o = experiments.MultiQueryOptions{N: 300, Slices: 16, Epochs: 24}
+		}
+		return experiments.RunMultiQuery(o)
+	}},
 	{"ablation", "composite cover selection ablation (§6.3)", func(p string) *experiments.Table {
 		o := experiments.AblationOptions{}
 		if p == "quick" {

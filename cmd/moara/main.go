@@ -36,9 +36,16 @@ func main() {
 	lan := flag.Bool("lan", false, "use the Emulab-style LAN latency model")
 	wan := flag.Bool("wan", false, "use the PlanetLab-style WAN latency model")
 	samples := flag.Int("samples", 8, "epochs to stream per standing query")
+	coalesce := flag.Duration("coalesce", 0,
+		"wire coalescing window (0 = one event-loop tick, -1ns = off)")
 	flag.Parse()
 
 	opts := []moara.Option{moara.WithSeed(*seed)}
+	if *coalesce < 0 {
+		opts = append(opts, moara.WithCoalesceWindow(moara.CoalesceOff))
+	} else if *coalesce > 0 {
+		opts = append(opts, moara.WithCoalesceWindow(*coalesce))
+	}
 	switch {
 	case *lan:
 		opts = append(opts, moara.WithLANModel())
@@ -60,7 +67,12 @@ func main() {
 		case line == "help":
 			fmt.Println("  <agg>(<attr>) [group by <attr>] [where <pred>] [every <dur>] | set <node> <attr> <val> | get <node> <attr> | trees [node] | subs [node] | stats | quit")
 		case line == "stats":
-			fmt.Printf("  moara messages since start/reset: %d\n", c.Messages())
+			logical, wire := c.Messages(), c.WireMessages()
+			fmt.Printf("  moara messages since start/reset: %d logical, %d wire", logical, wire)
+			if wire > 0 && logical > wire {
+				fmt.Printf(" (coalescing saved %.0f%%)", 100*float64(logical-wire)/float64(logical))
+			}
+			fmt.Println()
 		case line == "subs" || strings.HasPrefix(line, "subs "):
 			parts := strings.Fields(line)
 			node := 0

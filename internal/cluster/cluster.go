@@ -7,6 +7,7 @@ package cluster
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"github.com/moara/moara/internal/core"
@@ -219,17 +220,22 @@ func (c *Cluster) Warm(queries ...core.Request) error {
 	return nil
 }
 
-// MoaraMessages sums the Moara-layer messages (queries, responses,
-// status updates, probes), excluding overlay maintenance, matching the
-// paper's accounting.
-func (c *Cluster) MoaraMessages() int64 {
+// sumMoara totals a per-kind counter map over the Moara layer
+// (queries, responses, status updates, probes, subscription traffic),
+// excluding overlay maintenance, matching the paper's accounting.
+func sumMoara(byKind map[string]int64) int64 {
 	var total int64
-	for kind, n := range c.Net.Counter().ByKind {
-		if len(kind) >= 6 && kind[:6] == "moara." {
+	for kind, n := range byKind {
+		if strings.HasPrefix(kind, "moara.") {
 			total += n
 		}
 	}
 	return total
+}
+
+// MoaraMessages sums the Moara-layer logical messages.
+func (c *Cluster) MoaraMessages() int64 {
+	return sumMoara(c.Net.Counter().ByKind)
 }
 
 // MessagesPerNode is MoaraMessages averaged over the cluster.
@@ -244,4 +250,20 @@ func (c *Cluster) MessagesPerNode() float64 {
 // standing query pays only once is accounted on both sides.
 func (c *Cluster) QueryMessages() int64 {
 	return c.MoaraMessages() + c.Net.Counter().ByKind["overlay.route"]
+}
+
+// WireMoaraMessages counts Moara-layer transmissions: like
+// MoaraMessages, but a coalesced batch ("moara.batch") counts once
+// however many logical messages it carries. With CoalesceOff the two
+// counts are equal; the gap between them is the wire saving of
+// per-destination coalescing.
+func (c *Cluster) WireMoaraMessages() int64 {
+	return sumMoara(c.Net.Counter().WireByKind)
+}
+
+// WireQueryMessages is WireMoaraMessages plus overlay route hops — the
+// wire-level counterpart of QueryMessages. Route hops are never
+// coalesced, so their wire and logical counts coincide.
+func (c *Cluster) WireQueryMessages() int64 {
+	return c.WireMoaraMessages() + c.Net.Counter().WireByKind["overlay.route"]
 }

@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/moara/moara/internal/core"
+	"github.com/moara/moara/internal/value"
+	"github.com/moara/moara/internal/workload"
+)
+
+// coalesceRun drives one deterministic mixed workload (one-shot scalar,
+// grouped, and filtered queries from several front-ends plus concurrent
+// standing queries) on a fresh cluster and returns everything
+// observable: per-query results, per-subscription sample streams, and
+// the logical/wire message counts.
+type coalesceOutcome struct {
+	results []core.Result
+	samples [][]string
+	logical int64
+	wire    int64
+}
+
+func coalesceRun(t *testing.T, window time.Duration) coalesceOutcome {
+	t.Helper()
+	// The default latency model (fixed 1ms, no processing jitter) draws
+	// no randomness per message, so the two runs' virtual timelines are
+	// identical and outputs can be compared byte for byte.
+	c := New(Options{N: 64, Seed: 11, Node: core.Config{CoalesceWindow: window}})
+	for i, nd := range c.Nodes {
+		nd.Store().Set("slice", value.Str(fmt.Sprintf("s%d", i%5)))
+		// Integer values keep every aggregate exact and order-independent.
+		nd.Store().Set("mem_util", value.Int(int64(i*13%100)))
+	}
+
+	specs := workload.MultiQuery(c.Net.Rand(), 64, 12, 5, "200ms")
+	out := coalesceOutcome{}
+	var sids []core.QueryID
+	var sidFes []int
+	for _, spec := range specs {
+		req, err := core.ParseRequest(spec.Text)
+		if err != nil {
+			t.Fatalf("parse %q: %v", spec.Text, err)
+		}
+		if !spec.Standing {
+			continue
+		}
+		i := len(out.samples)
+		out.samples = append(out.samples, nil)
+		sid, err := c.Subscribe(spec.Frontend, req, func(s core.Sample) {
+			out.samples[i] = append(out.samples[i], fmt.Sprintf(
+				"epoch=%d root=%d at=%v lag=%v cold=%v agg=%s n=%d groups=%v trunc=%v",
+				s.Epoch, s.RootEpoch, s.At, s.Lag, s.ColdStart, s.Result.Agg.Value,
+				s.Result.Contributors, s.Result.Groups, s.Result.Truncated))
+		})
+		if err != nil {
+			t.Fatalf("subscribe %q: %v", spec.Text, err)
+		}
+		sids = append(sids, sid)
+		sidFes = append(sidFes, spec.Frontend)
+	}
+	for round := 0; round < 8; round++ {
+		for _, spec := range specs {
+			if spec.Standing {
+				continue
+			}
+			req, _ := core.ParseRequest(spec.Text)
+			res, err := c.Execute(spec.Frontend, req)
+			if err != nil {
+				t.Fatalf("execute %q: %v", spec.Text, err)
+			}
+			res.Stats.Costs = nil // map with probe costs; compared via Chosen
+			out.results = append(out.results, res)
+		}
+		c.RunFor(200 * time.Millisecond)
+	}
+	for i, sid := range sids {
+		c.Unsubscribe(sidFes[i], sid)
+	}
+	c.RunFor(time.Second)
+	out.logical = c.QueryMessages()
+	out.wire = c.WireQueryMessages()
+	return out
+}
+
+// TestCoalesceEquivalence is the batching-equivalence property: the
+// same seeded workload with the coalescing outbox on vs off produces
+// identical Results and identical Samples — values, contributor
+// counts, epochs, even virtual-time latencies — while the coalesced
+// run ships the same logical messages in strictly fewer wire messages.
+func TestCoalesceEquivalence(t *testing.T) {
+	on := coalesceRun(t, 0)
+	off := coalesceRun(t, core.CoalesceOff)
+
+	if len(on.results) == 0 || len(on.samples) == 0 {
+		t.Fatal("workload produced no results/samples")
+	}
+	if !reflect.DeepEqual(on.results, off.results) {
+		for i := range on.results {
+			if !reflect.DeepEqual(on.results[i], off.results[i]) {
+				t.Fatalf("result %d differs:\n  on:  %+v\n  off: %+v", i, on.results[i], off.results[i])
+			}
+		}
+		t.Fatal("results differ")
+	}
+	if !reflect.DeepEqual(on.samples, off.samples) {
+		for i := range on.samples {
+			if !reflect.DeepEqual(on.samples[i], off.samples[i]) {
+				t.Fatalf("sample stream %d differs:\n  on:  %v\n  off: %v", i, on.samples[i], off.samples[i])
+			}
+		}
+		t.Fatal("samples differ")
+	}
+	if on.logical != off.logical {
+		t.Errorf("logical messages must not change under coalescing: on=%d off=%d", on.logical, off.logical)
+	}
+	if off.wire != off.logical {
+		t.Errorf("uncoalesced wire (%d) should equal logical (%d)", off.wire, off.logical)
+	}
+	if on.wire >= off.wire {
+		t.Errorf("coalescing must strictly reduce wire messages: on=%d off=%d", on.wire, off.wire)
+	}
+	t.Logf("logical=%d wire on=%d off=%d (saved %.0f%%)",
+		on.logical, on.wire, off.wire, 100*float64(off.wire-on.wire)/float64(off.wire))
+}

@@ -103,7 +103,22 @@ type Config struct {
 	// composite covers) and how often the renewed install is refreshed
 	// down-tree. Must be well below SubTTL; default SubTTL/3.
 	SubRenewInterval time.Duration
+	// CoalesceWindow is the Nagle-style per-destination outbox flush
+	// window: messages a node emits to the same neighbor within the
+	// window ship as one wire-level BatchMsg, so Q concurrent queries
+	// traversing the same trees cost ~one wire message per tree edge
+	// instead of Q. Zero (the default) flushes after one event-loop
+	// tick — same virtual instant on the simulator, same serialized
+	// handler turn on the TCP agent — adding no latency while still
+	// merging everything a node sends in one burst. A positive window
+	// trades up to that much extra latency per hop for coalescing
+	// across bursts. CoalesceOff disables the outbox entirely.
+	CoalesceWindow time.Duration
 }
+
+// CoalesceOff disables the per-destination outbox: every message is
+// sent individually, one wire message per logical message.
+const CoalesceOff time.Duration = -1
 
 // Defaults fills unset fields with the paper's parameter choices.
 func (c Config) Defaults() Config {

@@ -256,3 +256,25 @@ type CancelMsg struct {
 
 // MsgKind labels the message for accounting.
 func (CancelMsg) MsgKind() string { return "moara.cancel" }
+
+// ---------------------------------------------------------------------
+// Wire coalescing
+
+// BatchMsg is a coalesced bundle of messages for one destination: the
+// per-destination outbox collects everything a node emits to the same
+// neighbor within Config.CoalesceWindow and ships it as one wire
+// message. Receivers unpack transparently (Node.Handle dispatches each
+// item in order), and message accounting counts the items as logical
+// messages while the batch itself counts once as a wire message — Q
+// standing queries sharing a tree edge cost one wire message per epoch.
+type BatchMsg struct {
+	Items []any
+}
+
+// MsgKind labels the batch envelope for wire-level accounting; the
+// items inside keep their own kinds for logical accounting.
+func (BatchMsg) MsgKind() string { return "moara.batch" }
+
+// Unpack exposes the bundled messages (simnet.Batch); the simulator
+// uses it to count logical messages inside one wire transmission.
+func (b BatchMsg) Unpack() []any { return b.Items }

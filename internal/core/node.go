@@ -43,6 +43,13 @@ type Node struct {
 	targetsGen   int
 	targetsCache map[int][]pastry.BroadcastTarget
 
+	// outbox is the per-destination coalescing buffer (wire batching):
+	// sends within one CoalesceWindow to the same neighbor ship as a
+	// single BatchMsg. order keeps flushes deterministic.
+	outbox      map[ids.ID][]any
+	outboxOrder []ids.ID
+	outboxArmed bool
+
 	qidCounter uint64
 	gcArmed    bool
 	closed     bool
@@ -97,8 +104,15 @@ func (n *Node) Self() ids.ID { return n.self }
 // Config returns the node's configuration.
 func (n *Node) Config() Config { return n.cfg }
 
-// Close stops timers, including every subscription's epoch loop.
+// Close stops timers, including every subscription's epoch loop. Any
+// messages still queued in the coalescing outbox are flushed first
+// (best-effort), so e.g. a cancel cascade queued just before shutdown
+// still reaches the children instead of leaving them to the SubTTL GC.
 func (n *Node) Close() {
+	if n.closed {
+		return
+	}
+	n.flushOutbox()
 	n.closed = true
 	for _, sub := range n.subs {
 		if sub.cancelTick != nil {
@@ -119,9 +133,64 @@ func (n *Node) Close() {
 	n.overlay.Close()
 }
 
+// send queues m for to through the per-destination outbox. With
+// coalescing enabled (CoalesceWindow >= 0) the message rides the next
+// flush — together with everything else bound for the same neighbor —
+// as one wire-level BatchMsg; with CoalesceOff it goes out directly.
+// All Moara-layer traffic (queries, responses, statuses, installs,
+// epoch reports, samples, cancels) flows through here; overlay routing
+// and maintenance stay un-coalesced so liveness is never delayed.
+func (n *Node) send(to ids.ID, m any) {
+	if n.cfg.CoalesceWindow < 0 {
+		n.env.Send(to, m)
+		return
+	}
+	if n.outbox == nil {
+		n.outbox = make(map[ids.ID][]any)
+	}
+	if _, ok := n.outbox[to]; !ok {
+		n.outboxOrder = append(n.outboxOrder, to)
+	}
+	n.outbox[to] = append(n.outbox[to], m)
+	if !n.outboxArmed {
+		n.outboxArmed = true
+		// A zero window flushes after one event-loop tick: the timer
+		// fires at the same virtual instant (simulator) or immediately
+		// after the current serialized handler turn (TCP agent), so
+		// everything one burst emits coalesces with no added latency.
+		n.env.After(n.cfg.CoalesceWindow, n.flushOutbox)
+	}
+}
+
+// flushOutbox ships every queued destination's messages: singletons go
+// raw (no envelope overhead), anything more ships as one BatchMsg.
+func (n *Node) flushOutbox() {
+	if n.closed {
+		return
+	}
+	box, order := n.outbox, n.outboxOrder
+	n.outbox, n.outboxOrder, n.outboxArmed = nil, nil, false
+	for _, to := range order {
+		items := box[to]
+		if len(items) == 1 {
+			n.env.Send(to, items[0])
+			continue
+		}
+		n.env.Send(to, BatchMsg{Items: items})
+	}
+}
+
 // Handle dispatches an incoming message (implements simnet.Handler).
 func (n *Node) Handle(from ids.ID, m any) {
 	if n.closed {
+		return
+	}
+	if bm, ok := m.(BatchMsg); ok {
+		// Unpack a coalesced wire batch: items dispatch in send order,
+		// exactly as they would have arrived individually.
+		for _, item := range bm.Items {
+			n.Handle(from, item)
+		}
 		return
 	}
 	if n.overlay.Handle(from, m) {
@@ -316,7 +385,7 @@ func (n *Node) maybeSendStatus(ps *predState) {
 	ps.lastSentValid = true
 	ps.lastSentPrune = prune
 	ps.lastSentSet = append([]SetEntry(nil), set...)
-	n.env.Send(ps.parent, StatusMsg{
+	n.send(ps.parent, StatusMsg{
 		Group:     ps.group.canon,
 		Prune:     prune,
 		UpdateSet: set,
@@ -367,13 +436,13 @@ type exec struct {
 // handleSubQuery starts dissemination at the tree root.
 func (n *Node) handleSubQuery(sq SubQueryMsg) {
 	if _, dup := n.seen[seenKey{sq.QID, sq.Group}]; dup {
-		n.env.Send(sq.ReplyTo, ResponseMsg{QID: sq.QID, Group: sq.Group, Dup: true})
+		n.send(sq.ReplyTo, ResponseMsg{QID: sq.QID, Group: sq.Group, Dup: true})
 		return
 	}
 	n.markSeen(sq.QID, sq.Group)
 	g, err := n.groupSpecOf(sq.Group)
 	if err != nil {
-		n.env.Send(sq.ReplyTo, ResponseMsg{QID: sq.QID, Group: sq.Group, Dup: true})
+		n.send(sq.ReplyTo, ResponseMsg{QID: sq.QID, Group: sq.Group, Dup: true})
 		return
 	}
 	ps := n.getPred(g)
@@ -403,13 +472,13 @@ func (n *Node) handleSubQuery(sq SubQueryMsg) {
 // SQP jump.
 func (n *Node) handleQuery(_ ids.ID, qm QueryMsg) {
 	if _, dup := n.seen[seenKey{qm.QID, qm.Group}]; dup {
-		n.env.Send(qm.ReplyTo, ResponseMsg{QID: qm.QID, Group: qm.Group, Dup: true})
+		n.send(qm.ReplyTo, ResponseMsg{QID: qm.QID, Group: qm.Group, Dup: true})
 		return
 	}
 	n.markSeen(qm.QID, qm.Group)
 	g, err := n.groupSpecOf(qm.Group)
 	if err != nil {
-		n.env.Send(qm.ReplyTo, ResponseMsg{QID: qm.QID, Group: qm.Group, Dup: true})
+		n.send(qm.ReplyTo, ResponseMsg{QID: qm.QID, Group: qm.Group, Dup: true})
 		return
 	}
 	if n.cfg.Mode == ModeGlobal {
@@ -480,7 +549,7 @@ func (n *Node) disseminate(ps *predState, qm QueryMsg, replyTo ids.ID) {
 		ex.pending[t.ID] = true
 		fwd.Level = t.Level
 		fwd.Jump = t.Jump
-		n.env.Send(t.ID, fwd)
+		n.send(t.ID, fwd)
 	}
 	key := seenKey{qm.QID, qm.Group}
 	ex.cancel = n.env.After(n.cfg.ChildTimeout, func() { n.execTimeout(key) })
@@ -513,7 +582,7 @@ func (n *Node) disseminateGlobal(qm QueryMsg) {
 	for _, t := range targets {
 		ex.pending[t.ID] = true
 		fwd.Level = t.Level
-		n.env.Send(t.ID, fwd)
+		n.send(t.ID, fwd)
 	}
 	key := seenKey{qm.QID, qm.Group}
 	ex.cancel = n.env.After(n.cfg.ChildTimeout, func() { n.execTimeout(key) })
@@ -636,7 +705,7 @@ func (n *Node) finishExec(ex *exec) {
 	if ps, ok := n.preds[ex.group]; ok {
 		np, unknown = ps.np, ps.unknown
 	}
-	n.env.Send(ex.replyTo, ResponseMsg{
+	n.send(ex.replyTo, ResponseMsg{
 		QID:     ex.qid,
 		Group:   ex.group,
 		State:   ex.state,
@@ -656,7 +725,7 @@ func (n *Node) handleProbe(pm ProbeMsg) {
 	default:
 		cost = 2 * (float64(ps.np) + ps.unknown)
 	}
-	n.env.Send(pm.ReplyTo, ProbeRespMsg{QID: pm.QID, Group: pm.Group, Cost: cost})
+	n.send(pm.ReplyTo, ProbeRespMsg{QID: pm.QID, Group: pm.Group, Cost: cost})
 }
 
 // ---------------------------------------------------------------------

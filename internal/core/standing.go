@@ -28,8 +28,15 @@ import (
 
 // Sample is one epoch of a standing query delivered to the subscriber.
 type Sample struct {
-	// Epoch numbers the sample (1-based, per subscription).
+	// Epoch numbers the sample (1-based, per subscription): a delivery
+	// counter at the front-end, consecutive by construction.
 	Epoch uint64
+	// RootEpoch is the newest tree-root epoch counter merged into this
+	// sample (the roots tick once per period regardless of delivery).
+	// Unlike Epoch it exposes stream faults: a skipped root sample
+	// shows as a gap, a duplicate as a repeat, a reordering as a
+	// decrease. Zero for provably-empty plans (no network state).
+	RootEpoch uint64
 	// At is the front-end clock when the sample was delivered.
 	At time.Duration
 	// Lag is the root-emission-to-delivery delay of the slowest tree
@@ -257,12 +264,12 @@ func (n *Node) pushInstalls(sub *subState, ps *predState, refresh bool) {
 		if refresh || !sub.targets[t.ID] {
 			im.Level = t.Level
 			im.Jump = t.Jump
-			n.env.Send(t.ID, im)
+			n.send(t.ID, im)
 		}
 	}
 	for id := range sub.targets {
 		if !next[id] {
-			n.env.Send(id, CancelMsg{SID: sub.sid, Group: sub.group.canon})
+			n.send(id, CancelMsg{SID: sub.sid, Group: sub.group.canon})
 			delete(sub.reports, id)
 		}
 	}
@@ -284,9 +291,17 @@ func (n *Node) syncSubs(ps *predState) {
 	}
 }
 
-// armEpoch schedules the subscription's next epoch tick.
+// armEpoch schedules the subscription's next epoch tick, aligned to
+// the period grid (the next multiple of the period on the node's
+// clock). Alignment makes every subscription with the same period tick
+// in the same event-loop burst, so Q concurrent standing queries
+// sharing a tree edge coalesce their per-epoch reports into one wire
+// batch instead of Q staggered messages. It is unconditional —
+// independent of CoalesceWindow — so toggling coalescing never shifts
+// epoch timing.
 func (n *Node) armEpoch(sub *subState) {
-	sub.cancelTick = n.env.After(sub.period, func() { n.epochTick(sub) })
+	d := sub.period - n.env.Now()%sub.period
+	sub.cancelTick = n.env.After(d, func() { n.epochTick(sub) })
 }
 
 // epochTick is one epoch at one node: enforce the lease, recompute the
@@ -322,7 +337,7 @@ func (n *Node) epochTick(sub *subState) {
 		_ = state.Merge(rep.state)
 	}
 	if sub.root {
-		n.env.Send(sub.replyTo, SampleMsg{
+		n.send(sub.replyTo, SampleMsg{
 			SID:   sub.sid,
 			Group: sub.group.canon,
 			Epoch: sub.epoch,
@@ -336,7 +351,7 @@ func (n *Node) epochTick(sub *subState) {
 		if ps, ok := n.preds[sub.group.canon]; ok {
 			np, unknown = ps.np, ps.unknown
 		}
-		n.env.Send(sub.parent, EpochReportMsg{
+		n.send(sub.parent, EpochReportMsg{
 			SID:     sub.sid,
 			Group:   sub.group.canon,
 			Epoch:   sub.epoch,
@@ -399,7 +414,7 @@ func (n *Node) claimStanding(sub *subState) bool {
 func (n *Node) handleEpochReport(from ids.ID, em EpochReportMsg) {
 	sub, ok := n.subs[subKey{em.SID, em.Group}]
 	if !ok {
-		n.env.Send(from, CancelMsg{SID: em.SID, Group: em.Group})
+		n.send(from, CancelMsg{SID: em.SID, Group: em.Group})
 		return
 	}
 	sub.reports[from] = &childReport{state: em.State, epoch: em.Epoch, at: n.env.Now()}
@@ -459,11 +474,11 @@ func (n *Node) dropSub(sub *subState, cascade bool) {
 	}
 	cm := CancelMsg{SID: sub.sid, Group: sub.group.canon}
 	for id := range sub.targets {
-		n.env.Send(id, cm)
+		n.send(id, cm)
 	}
 	for id := range sub.reports {
 		if !sub.targets[id] {
-			n.env.Send(id, cm)
+			n.send(id, cm)
 		}
 	}
 }
@@ -729,12 +744,12 @@ func (fe *frontend) handleSample(from ids.ID, sm SampleMsg) {
 	n := fe.n
 	fs, ok := fe.subs[sm.SID]
 	if !ok {
-		n.env.Send(from, CancelMsg{SID: sm.SID, Group: sm.Group})
+		n.send(from, CancelMsg{SID: sm.SID, Group: sm.Group})
 		return
 	}
 	if _, ok := fs.groups[sm.Group]; !ok {
 		// A tree from a flipped-away cover is still streaming.
-		n.env.Send(from, CancelMsg{SID: sm.SID, Group: sm.Group})
+		n.send(from, CancelMsg{SID: sm.SID, Group: sm.Group})
 		return
 	}
 	fs.latest[sm.Group] = sm
@@ -747,6 +762,7 @@ func (fe *frontend) handleSample(from ids.ID, sm SampleMsg) {
 	now := n.env.Now()
 	agg := aggregate.NewGrouped(fs.req.Spec, n.cfg.MaxGroupKeys)
 	var lag time.Duration
+	var rootEpoch uint64
 	for canon := range fs.groups {
 		s, ok := fs.latest[canon]
 		if !ok || s.State == nil {
@@ -755,6 +771,9 @@ func (fe *frontend) handleSample(from ids.ID, sm SampleMsg) {
 		_ = agg.Merge(s.State)
 		if l := now - s.At; l > lag {
 			lag = l
+		}
+		if s.Epoch > rootEpoch {
+			rootEpoch = s.Epoch
 		}
 	}
 	res := Result{Agg: agg.Result(), Contributors: agg.Nodes()}
@@ -766,6 +785,7 @@ func (fe *frontend) handleSample(from ids.ID, sm SampleMsg) {
 	}
 	fs.cb(Sample{
 		Epoch:     fs.epoch,
+		RootEpoch: rootEpoch,
 		At:        now,
 		Lag:       lag,
 		ColdStart: fs.epoch <= fs.warmAfter,

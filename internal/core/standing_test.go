@@ -303,3 +303,79 @@ func TestSubscribeValidation(t *testing.T) {
 		t.Fatal("execute callback not invoked")
 	}
 }
+
+// coalescedConfig is standingConfig with a wide Nagle window: half an
+// epoch, so per-epoch reports, install refreshes, renewals, and cancels
+// routinely share BatchMsg envelopes — the regime where a lost or
+// re-ordered cancel would be most visible.
+func coalescedConfig() Config {
+	cfg := standingConfig()
+	cfg.CoalesceWindow = 100 * time.Millisecond
+	return cfg
+}
+
+// TestStandingCancelMidStreamCoalesced re-runs the mid-stream cancel
+// lifecycle with aggressive wire coalescing: a second live subscription
+// on the same tree keeps per-epoch EpochReportMsg traffic flowing, so
+// the CancelMsg cascade of the unsubscribed query rides in the same
+// batches — and must still tear down every entry while the survivor
+// keeps streaming correct values.
+func TestStandingCancelMidStreamCoalesced(t *testing.T) {
+	net, nodes := miniCluster(t, 32, coalescedConfig())
+	for i, n := range nodes {
+		n.Store().Set("g", value.Bool(i%3 == 0))
+	}
+	gotA, gotB := 0, 0
+	var lastB Sample
+	sidA := mustSubscribe(t, nodes[0], "count(*) where g = true every 200ms", func(Sample) { gotA++ })
+	mustSubscribe(t, nodes[1], "count(*) where g = true every 200ms", func(s Sample) { gotB++; lastB = s })
+	net.RunFor(3 * time.Second)
+	if gotA == 0 || gotB == 0 {
+		t.Fatalf("no samples before cancel (A=%d B=%d)", gotA, gotB)
+	}
+	nodes[0].Unsubscribe(sidA)
+	// Let the batched cancel cascade and in-flight reports drain.
+	net.RunFor(2 * time.Second)
+	stoppedA := gotA
+	runningB := gotB
+	net.RunFor(2 * time.Second)
+	if gotA != stoppedA {
+		t.Fatalf("cancelled stream kept delivering: %d -> %d", stoppedA, gotA)
+	}
+	if gotB <= runningB {
+		t.Fatal("surviving stream stalled after the other was cancelled")
+	}
+	if v, _ := lastB.Result.Agg.Value.AsInt(); v != 11 {
+		t.Fatalf("survivor count = %d, want 11", v)
+	}
+	for _, n := range nodes {
+		for _, si := range n.Subs() {
+			if si.SID == sidA {
+				t.Fatalf("node %s leaked cancelled subscription state", n.Self().Short())
+			}
+		}
+	}
+}
+
+// TestStandingTTLGCCoalesced crashes the front-end under the same wide
+// coalescing window: lease renewals stop, and the TTL GC (helped by the
+// batched cancel-on-unknown-report path) must still collect every
+// subscription entry even though cancels and epoch reports share wire
+// batches.
+func TestStandingTTLGCCoalesced(t *testing.T) {
+	net, nodes := miniCluster(t, 32, coalescedConfig())
+	for i, n := range nodes {
+		n.Store().Set("g", value.Bool(i%4 == 0))
+	}
+	mustSubscribe(t, nodes[0], "count(*) where g = true every 200ms", func(Sample) {})
+	net.RunFor(2 * time.Second)
+	if subEntries(nodes) == 0 {
+		t.Fatal("no subscription state while live")
+	}
+	nodes[0].Close()
+	// SubTTL (3s) plus slack: everything must be gone.
+	net.RunFor(8 * time.Second)
+	if n := subEntries(nodes[1:]); n != 0 {
+		t.Fatalf("leaked %d subscription entries after front-end death under coalescing", n)
+	}
+}

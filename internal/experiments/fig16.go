@@ -10,6 +10,7 @@ import (
 	"github.com/moara/moara/internal/ids"
 	"github.com/moara/moara/internal/metrics"
 	"github.com/moara/moara/internal/predicate"
+	"github.com/moara/moara/internal/simnet"
 )
 
 // Fig16Options parameterize the bottleneck-link analysis.
@@ -51,10 +52,19 @@ func RunFig16(opt Fig16Options) *Table {
 		if !capture {
 			return
 		}
-		switch m.(type) {
-		case core.QueryMsg, core.ResponseMsg, core.SubQueryMsg:
-			if wire > maxEdge {
-				maxEdge = wire
+		// The tap sees wire messages; query traffic may arrive inside a
+		// coalesced BatchMsg, whose items all crossed this edge at the
+		// tapped latency.
+		items := []any{m}
+		if b, ok := m.(simnet.Batch); ok {
+			items = b.Unpack()
+		}
+		for _, item := range items {
+			switch item.(type) {
+			case core.QueryMsg, core.ResponseMsg, core.SubQueryMsg:
+				if wire > maxEdge {
+					maxEdge = wire
+				}
 			}
 		}
 	}

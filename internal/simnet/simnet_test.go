@@ -271,3 +271,64 @@ func TestWANStragglerDutyCycle(t *testing.T) {
 type handlerFunc func(ids.ID, any)
 
 func (f handlerFunc) Handle(from ids.ID, m any) { f(from, m) }
+
+// testBatch implements Batch for accounting tests.
+type testBatch struct {
+	items []any
+}
+
+func (b testBatch) Unpack() []any { return b.items }
+func (testBatch) MsgKind() string { return "test.batch" }
+
+type kindMsg string
+
+func (k kindMsg) MsgKind() string { return string(k) }
+
+// TestBatchAccounting checks the wire/logical counter split: a Batch
+// counts once at the wire level (under its envelope kind) and once per
+// carried item at the logical level (under the items' own kinds), and
+// delivery credits the receiver with the logical count.
+func TestBatchAccounting(t *testing.T) {
+	net := New(Options{Seed: 1})
+	a, b := ids.FromUint64(1), ids.FromUint64(2)
+	ea := net.AddNode(a)
+	eb := net.AddNode(b)
+	delivered := 0
+	ea.BindHandler(handlerFunc(func(ids.ID, any) {}))
+	eb.BindHandler(handlerFunc(func(_ ids.ID, m any) {
+		if bm, ok := m.(Batch); ok {
+			delivered += len(bm.Unpack())
+		} else {
+			delivered++
+		}
+	}))
+	ea.Send(b, testBatch{items: []any{kindMsg("moara.epoch"), kindMsg("moara.epoch"), kindMsg("moara.cancel")}})
+	ea.Send(b, kindMsg("moara.status"))
+	net.Run(0)
+
+	c := net.Counter()
+	if c.Total != 4 {
+		t.Errorf("logical Total = %d, want 4", c.Total)
+	}
+	if c.Wire != 2 {
+		t.Errorf("Wire = %d, want 2", c.Wire)
+	}
+	if c.ByKind["moara.epoch"] != 2 || c.ByKind["moara.cancel"] != 1 || c.ByKind["moara.status"] != 1 {
+		t.Errorf("logical ByKind = %v", c.ByKind)
+	}
+	if c.ByKind["test.batch"] != 0 {
+		t.Errorf("batch envelope leaked into logical counts: %v", c.ByKind)
+	}
+	if c.WireByKind["test.batch"] != 1 || c.WireByKind["moara.status"] != 1 {
+		t.Errorf("WireByKind = %v", c.WireByKind)
+	}
+	if c.ByNode[a] != 4 {
+		t.Errorf("ByNode[a] = %d, want 4", c.ByNode[a])
+	}
+	if c.RecvByNode[b] != 4 {
+		t.Errorf("RecvByNode[b] = %d, want 4", c.RecvByNode[b])
+	}
+	if delivered != 4 {
+		t.Errorf("delivered items = %d, want 4", delivered)
+	}
+}

@@ -59,6 +59,17 @@ func TestGobRoundTripAllWireTypes(t *testing.T) {
 		core.SampleMsg{SID: qid, Group: "g", Epoch: 13, At: 42 * time.Second, State: grouped},
 		core.SampleMsg{SID: qid, Group: "g", Epoch: 14, State: sum},
 		core.CancelMsg{SID: qid, Group: "g"},
+		// A coalesced wire batch: several standing queries' epoch
+		// reports (with nested keyed GroupedState payloads) sharing one
+		// tree edge, plus the cancel and status traffic that rides along.
+		core.BatchMsg{Items: []any{
+			core.EpochReportMsg{SID: qid, Group: "g", Epoch: 3, State: grouped, Np: 2},
+			core.EpochReportMsg{SID: core.QueryID{Origin: nodeB, Num: 7}, Group: "g", Epoch: 4, State: grouped},
+			core.ResponseMsg{QID: qid, Group: "g", State: grouped, Np: 1},
+			core.CancelMsg{SID: qid, Group: "g"},
+			core.StatusMsg{Group: "g", Np: 1, UpdateSet: []core.SetEntry{{ID: nodeB, Level: 2}}},
+		}},
+		core.BatchMsg{},
 		baseline.CentralQueryMsg{Num: 5, Attr: "cpu", Spec: spec, Pred: "a = 1"},
 		baseline.CentralRespMsg{Num: 5, State: sum},
 		core.ResponseMsg{QID: qid, Group: "g", State: sum},
@@ -76,7 +87,18 @@ func TestGobRoundTripAllWireTypes(t *testing.T) {
 		value.Str("plain value"),
 	}
 
+	covered := make(map[reflect.Type]bool)
+	var mark func(m any)
+	mark = func(m any) {
+		covered[reflect.TypeOf(m)] = true
+		if b, ok := m.(core.BatchMsg); ok {
+			for _, item := range b.Items {
+				mark(item)
+			}
+		}
+	}
 	for _, m := range samples {
+		mark(m)
 		var buf bytes.Buffer
 		if err := gob.NewEncoder(&buf).Encode(&envelope{FromAddr: "x", Payload: m}); err != nil {
 			t.Errorf("%T: encode: %v", m, err)
@@ -89,6 +111,27 @@ func TestGobRoundTripAllWireTypes(t *testing.T) {
 		}
 		if !reflect.DeepEqual(env.Payload, m) {
 			t.Errorf("%T: round trip mismatch:\n got %#v\nwant %#v", m, env.Payload, m)
+		}
+	}
+
+	// Nested aggregate states and values inside the samples cover the
+	// remaining registered payload types.
+	mark(sum)
+	mark(grouped)
+	mark(topk)
+	for _, m := range samples {
+		if rm, ok := m.(core.ResponseMsg); ok && rm.State != nil {
+			mark(rm.State)
+		}
+	}
+	mark(value.Str("x"))
+
+	// Every type RegisterGob registers must appear in the sweep: a wire
+	// type added to wireTypes but not exercised here fails CI instead of
+	// silently shipping untested.
+	for _, wt := range wireTypes {
+		if !covered[reflect.TypeOf(wt)] {
+			t.Errorf("registered wire type %T has no round-trip sample; add one to this sweep", wt)
 		}
 	}
 }

@@ -27,39 +27,51 @@ import (
 	"github.com/moara/moara/internal/value"
 )
 
+// wireTypes lists one sample of every type crossing the TCP transport
+// inside an envelope (or nested in a BatchMsg / aggregate State). The
+// gob round-trip sweep in gob_test.go iterates this same list to prove
+// every registered type survives encode/decode — add new wire types
+// HERE so they cannot skip either registration or the sweep.
+var wireTypes = []any{
+	pastry.RouteMsg{},
+	pastry.JoinRequest{},
+	pastry.JoinReply{},
+	pastry.Announce{},
+	pastry.AnnounceAck{},
+	pastry.Heartbeat{},
+	core.SubQueryMsg{},
+	core.QueryMsg{},
+	core.ResponseMsg{},
+	core.StatusMsg{},
+	core.ProbeMsg{},
+	core.ProbeRespMsg{},
+	core.SubscribeMsg{},
+	core.InstallMsg{},
+	core.EpochReportMsg{},
+	core.SampleMsg{},
+	core.CancelMsg{},
+	core.BatchMsg{},
+	baseline.CentralQueryMsg{},
+	baseline.CentralRespMsg{},
+	&aggregate.GroupedState{},
+	&aggregate.SumState{},
+	&aggregate.CountState{},
+	&aggregate.ExtremeState{},
+	&aggregate.AvgState{},
+	&aggregate.TopKState{},
+	&aggregate.EnumState{},
+	&aggregate.StdState{},
+	value.Value{},
+}
+
 // RegisterGob registers every wire type crossing the TCP transport.
 // Call once per process before creating nodes; it is idempotent via
 // sync.Once.
 func RegisterGob() {
 	gobOnce.Do(func() {
-		gob.Register(pastry.RouteMsg{})
-		gob.Register(pastry.JoinRequest{})
-		gob.Register(pastry.JoinReply{})
-		gob.Register(pastry.Announce{})
-		gob.Register(pastry.AnnounceAck{})
-		gob.Register(pastry.Heartbeat{})
-		gob.Register(core.SubQueryMsg{})
-		gob.Register(core.QueryMsg{})
-		gob.Register(core.ResponseMsg{})
-		gob.Register(core.StatusMsg{})
-		gob.Register(core.ProbeMsg{})
-		gob.Register(core.ProbeRespMsg{})
-		gob.Register(core.SubscribeMsg{})
-		gob.Register(core.InstallMsg{})
-		gob.Register(core.EpochReportMsg{})
-		gob.Register(core.SampleMsg{})
-		gob.Register(core.CancelMsg{})
-		gob.Register(baseline.CentralQueryMsg{})
-		gob.Register(baseline.CentralRespMsg{})
-		gob.Register(&aggregate.GroupedState{})
-		gob.Register(&aggregate.SumState{})
-		gob.Register(&aggregate.CountState{})
-		gob.Register(&aggregate.ExtremeState{})
-		gob.Register(&aggregate.AvgState{})
-		gob.Register(&aggregate.TopKState{})
-		gob.Register(&aggregate.EnumState{})
-		gob.Register(&aggregate.StdState{})
-		gob.Register(value.Value{})
+		for _, t := range wireTypes {
+			gob.Register(t)
+		}
 	})
 }
 
@@ -234,11 +246,21 @@ func (n *Node) Unsubscribe(id core.QueryID) {
 	n.Do(func(c *core.Node) { c.Unsubscribe(id) })
 }
 
-// Close shuts the agent down and waits for its goroutines.
+// Close shuts the agent down and waits for its goroutines. The core is
+// closed before the connections so its final outbox flush (queued
+// coalesced messages, e.g. a cancel cascade) can ride already-open
+// connections to remote peers, best-effort: racing conn teardown may
+// still drop it, no new connections are dialed for it, and loopback
+// flushes are discarded (the node stops handling its own messages the
+// moment closed is signalled). Peers that miss the flush fall back to
+// the SubTTL GC / ChildTimeout paths, exactly as with any lost packet.
 func (n *Node) Close() error {
 	n.closeMu.Do(func() {
 		close(n.closed)
 		n.ln.Close()
+		n.mu.Lock()
+		n.core.Close()
+		n.mu.Unlock()
 		n.connMu.Lock()
 		for _, oc := range n.conns {
 			oc.c.Close()
@@ -247,9 +269,6 @@ func (n *Node) Close() error {
 			c.Close()
 		}
 		n.connMu.Unlock()
-		n.mu.Lock()
-		n.core.Close()
-		n.mu.Unlock()
 	})
 	n.wg.Wait()
 	return nil
@@ -331,6 +350,14 @@ func (n *Node) conn(addr string) (*outConn, error) {
 		return oc, nil
 	}
 	n.connMu.Unlock()
+	// Cached connections stay usable through shutdown (Close's final
+	// outbox flush rides them best-effort), but a closing node must not
+	// dial fresh ones.
+	select {
+	case <-n.closed:
+		return nil, errors.New("transport: node closed")
+	default:
+	}
 	c, err := net.DialTimeout("tcp", addr, n.opts.DialTimeout)
 	if err != nil {
 		return nil, err
@@ -338,6 +365,14 @@ func (n *Node) conn(addr string) (*outConn, error) {
 	oc := &outConn{enc: gob.NewEncoder(c), c: c}
 	n.connMu.Lock()
 	defer n.connMu.Unlock()
+	select {
+	case <-n.closed:
+		// Close's teardown (also under connMu) may already have swept
+		// the cache; caching now would leak the descriptor.
+		c.Close()
+		return nil, errors.New("transport: node closed")
+	default:
+	}
 	if existing, ok := n.conns[addr]; ok {
 		c.Close()
 		return existing, nil

@@ -140,3 +140,48 @@ func TestValueGobRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestTCPConcurrentStandingCoalesced installs two concurrent standing
+// queries over real TCP with a generous coalescing window, so their
+// per-epoch EpochReportMsg traffic shares BatchMsg envelopes on the
+// actual gob wire. Both streams must deliver correct warm samples, and
+// cancelling one must not disturb the other.
+func TestTCPConcurrentStandingCoalesced(t *testing.T) {
+	nodes := startCluster(t, 6, core.Config{CoalesceWindow: 40 * time.Millisecond})
+	want := int64(0)
+	for i, nd := range nodes {
+		nd.SetAttr("load", value.Int(int64(i+1)))
+		want += int64(i + 1)
+	}
+	req, err := core.ParseRequest("sum(load) every 150ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chA := make(chan core.Sample, 64)
+	chB := make(chan core.Sample, 64)
+	sidA, err := nodes[0].Subscribe(req, func(s core.Sample) { chA <- s })
+	if err != nil {
+		t.Fatalf("subscribe A: %v", err)
+	}
+	if _, err := nodes[1].Subscribe(req, func(s core.Sample) { chB <- s }); err != nil {
+		t.Fatalf("subscribe B: %v", err)
+	}
+	waitWarm := func(name string, ch chan core.Sample) core.Sample {
+		deadline := time.After(20 * time.Second)
+		for {
+			select {
+			case s := <-ch:
+				if v, _ := s.Result.Agg.Value.AsInt(); !s.ColdStart && v == want {
+					return s
+				}
+			case <-deadline:
+				t.Fatalf("%s: no warm full sample", name)
+			}
+		}
+	}
+	waitWarm("A", chA)
+	waitWarm("B", chB)
+	nodes[0].Unsubscribe(sidA)
+	// B keeps streaming full samples after A's batched cancel cascade.
+	waitWarm("B after cancel", chB)
+}

@@ -148,6 +148,74 @@ func AssignSlices(rng *rand.Rand, n, nSlices int) []string {
 	return out
 }
 
+// QuerySpec is one entry of a multi-query workload: a query-language
+// string issued from one front-end node.
+type QuerySpec struct {
+	// Frontend is the index of the node issuing the query.
+	Frontend int
+	// Text is the query in the front-end language.
+	Text string
+	// Standing marks queries with an `every` clause (installed via
+	// Subscribe and streamed per epoch rather than executed once).
+	Standing bool
+}
+
+// MultiQuery generates the concurrent-workload mix of the wire
+// coalescing study: q queries spread over distinct front-end nodes,
+// mixing scalar, grouped, and slice-filtered forms, with roughly half
+// standing (`every period`) and half one-shot. Filtered queries pick
+// their slice with the same Zipf skew as AssignSlices, so popular
+// slices attract proportionally more concurrent queries — the overlap
+// that per-destination coalescing exploits.
+func MultiQuery(rng *rand.Rand, n, q, nSlices int, period string) []QuerySpec {
+	if q < 1 {
+		q = 1
+	}
+	if nSlices < 1 {
+		nSlices = 1
+	}
+	// Front-ends evenly spread over the cluster with a random rotation
+	// (distinct while q <= n; above that, duplicates are inevitable):
+	// concurrent load comes from many nodes, not one.
+	offset := rng.Intn(n)
+	const zipfS = 0.72
+	cum := make([]float64, nSlices)
+	total := 0.0
+	for r := 0; r < nSlices; r++ {
+		total += 1 / math.Pow(float64(r+1), zipfS)
+		cum[r] = total
+	}
+	pickSlice := func() string {
+		x := rng.Float64() * total
+		r := sort.SearchFloat64s(cum, x)
+		if r >= nSlices {
+			r = nSlices - 1
+		}
+		return fmt.Sprintf("s%d", r)
+	}
+	out := make([]QuerySpec, q)
+	for i := range out {
+		fe := (offset + i*n/q) % n
+		var text string
+		switch i % 4 {
+		case 0:
+			text = "avg(mem_util)"
+		case 1:
+			text = "avg(mem_util) group by slice"
+		case 2:
+			text = fmt.Sprintf("count(*) where slice = %s", pickSlice())
+		default:
+			text = fmt.Sprintf("avg(mem_util) where slice = %s", pickSlice())
+		}
+		standing := i%2 == 0
+		if standing {
+			text += " every " + period
+		}
+		out[i] = QuerySpec{Frontend: fe, Text: text, Standing: standing}
+	}
+	return out
+}
+
 // JobPhase is one plateau of a rendering job's machine usage.
 type JobPhase struct {
 	// StartMin is the phase start in minutes from trace begin.

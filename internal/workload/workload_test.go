@@ -2,7 +2,10 @@ package workload
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
+
+	"github.com/moara/moara/internal/core"
 )
 
 func TestScheduleComposition(t *testing.T) {
@@ -142,5 +145,53 @@ func TestAssignSlices(t *testing.T) {
 	// Zipf skew: the head slice should dwarf the tail.
 	if counts["s0"] < 3*counts["s31"]+1 {
 		t.Fatalf("no skew: s0=%d s31=%d", counts["s0"], counts["s31"])
+	}
+}
+
+func TestMultiQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	specs := MultiQuery(rng, 300, 64, 16, "200ms")
+	if len(specs) != 64 {
+		t.Fatalf("len = %d", len(specs))
+	}
+	standing, oneShot := 0, 0
+	fes := map[int]bool{}
+	sliceCounts := map[string]int{}
+	for _, s := range specs {
+		if s.Frontend < 0 || s.Frontend >= 300 {
+			t.Fatalf("front-end out of range: %+v", s)
+		}
+		fes[s.Frontend] = true
+		if s.Standing {
+			standing++
+			if !strings.Contains(s.Text, "every 200ms") {
+				t.Fatalf("standing spec missing every clause: %+v", s)
+			}
+		} else {
+			oneShot++
+			if strings.Contains(s.Text, "every") {
+				t.Fatalf("one-shot spec has every clause: %+v", s)
+			}
+		}
+		if i := strings.Index(s.Text, "slice = "); i >= 0 {
+			sliceCounts[strings.Fields(s.Text[i+len("slice = "):])[0]]++
+		}
+	}
+	if standing == 0 || oneShot == 0 {
+		t.Fatalf("mix should contain both standing (%d) and one-shot (%d) queries", standing, oneShot)
+	}
+	if len(fes) < 32 {
+		t.Fatalf("front-ends should be spread out, got %d distinct", len(fes))
+	}
+	// Zipf skew over filtered slices: the head should beat the tail.
+	if sliceCounts["s0"] == 0 {
+		t.Fatalf("no filtered queries hit the head slice: %v", sliceCounts)
+	}
+	// Every generated query must parse in the front-end language (the
+	// experiment panics otherwise; fail early here instead).
+	for _, s := range specs {
+		if _, err := core.ParseRequest(s.Text); err != nil {
+			t.Fatalf("spec %q does not parse: %v", s.Text, err)
+		}
 	}
 }

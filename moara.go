@@ -112,6 +112,20 @@ func WithNodeConfig(cfg core.Config) Option {
 	return func(o *options) { o.nodeCfg = cfg }
 }
 
+// WithCoalesceWindow sets the per-destination outbox flush window: all
+// messages a node emits to the same neighbor within the window ship as
+// one wire-level batch. The default (0) flushes every event-loop tick,
+// coalescing concurrent queries' traffic with no added latency; a
+// positive window also merges across bursts at up to that much extra
+// latency per hop; CoalesceOff disables batching entirely.
+func WithCoalesceWindow(d time.Duration) Option {
+	return func(o *options) { o.nodeCfg.CoalesceWindow = d }
+}
+
+// CoalesceOff disables wire coalescing when passed to
+// WithCoalesceWindow (or set as Config.CoalesceWindow).
+const CoalesceOff = core.CoalesceOff
+
 // WithLANModel simulates a datacenter LAN with per-message processing
 // cost and shared CPUs, like the paper's Emulab testbed.
 func WithLANModel() Option {
@@ -223,8 +237,14 @@ func (s *SimCluster) Unsubscribe(node int, id SubID) {
 // RunFor advances virtual time (status propagation, tree adaptation).
 func (s *SimCluster) RunFor(d time.Duration) { s.c.RunFor(d) }
 
-// Messages reports total Moara-layer messages since the last reset.
+// Messages reports total Moara-layer logical messages since the last
+// reset (coalesced batches count as the messages they carry).
 func (s *SimCluster) Messages() int64 { return s.c.MoaraMessages() }
+
+// WireMessages reports Moara-layer transmissions since the last reset:
+// a coalesced batch counts once. The gap to Messages is the wire
+// saving of per-destination coalescing.
+func (s *SimCluster) WireMessages() int64 { return s.c.WireMoaraMessages() }
 
 // ResetMessageCounter zeroes accounting.
 func (s *SimCluster) ResetMessageCounter() { s.c.Net.ResetCounter() }
