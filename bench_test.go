@@ -187,6 +187,18 @@ func BenchmarkMultiQuery(b *testing.B) {
 	})
 }
 
+// BenchmarkChurn regenerates the churn-resilience study at reduced
+// scale: completeness and delivery lag for standing and one-shot
+// queries while nodes crash, join, and recover at Poisson rates, plus
+// the targeted kill/repair measurement.
+func BenchmarkChurn(b *testing.B) {
+	runBench(b, func() *experiments.Table {
+		return experiments.RunChurn(experiments.ChurnOptions{
+			N: 200, PerEpoch: []float64{0, 0.01}, Epochs: 20,
+		})
+	})
+}
+
 // BenchmarkGroupedQueryTurnaround measures end-to-end turnaround of a
 // warmed `group by` query at 512 nodes / 16 keys — the grouped
 // monitoring hot path.

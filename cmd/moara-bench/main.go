@@ -133,6 +133,13 @@ var figures = []struct {
 		}
 		return experiments.RunMultiQuery(o)
 	}},
+	{"churn", "membership churn: completeness, lag, and repair under kill/join/recover", func(p string) *experiments.Table {
+		o := experiments.ChurnOptions{}
+		if p == "quick" {
+			o = experiments.ChurnOptions{N: 300, Epochs: 30}
+		}
+		return experiments.RunChurn(o)
+	}},
 	{"ablation", "composite cover selection ablation (§6.3)", func(p string) *experiments.Table {
 		o := experiments.AblationOptions{}
 		if p == "quick" {

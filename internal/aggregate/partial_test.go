@@ -1,0 +1,107 @@
+package aggregate
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/moara/moara/internal/ids"
+	"github.com/moara/moara/internal/value"
+)
+
+// TestPartialAggregationLawKillSubsets is the §3.1 partial-aggregation
+// law extended to arbitrary kill subsets, checked at the state level:
+// for random survivor subsets of a random population, merging the
+// survivors' per-node partial states — in random tree shapes — must
+// equal direct aggregation over the survivors, for every aggregate kind
+// including the keyed GroupedState. This is the algebraic half of the
+// churn-resilience argument: whatever subset of the tree survives a
+// crash wave, the states that do reach the root compose to the exact
+// aggregate over the nodes they represent.
+func TestPartialAggregationLawKillSubsets(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	kinds := []Spec{
+		{Kind: KindSum}, {Kind: KindCount}, {Kind: KindMin}, {Kind: KindMax},
+		{Kind: KindAvg}, {Kind: KindStd}, {Kind: KindTopK, K: 3}, {Kind: KindEnum},
+	}
+	for trial := 0; trial < 60; trial++ {
+		n := 8 + rng.Intn(56)
+		nodes := make([]ids.ID, n)
+		vals := make([]value.Value, n)
+		keys := make([]string, n)
+		for i := range nodes {
+			nodes[i] = ids.FromKey(fmt.Sprintf("n-%d-%d", trial, i))
+			vals[i] = value.Int(int64(rng.Intn(500)))
+			keys[i] = fmt.Sprintf("k%d", rng.Intn(5))
+		}
+		// Random survivor subset (possibly empty).
+		var survivors []int
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) != 0 {
+				survivors = append(survivors, i)
+			}
+		}
+		for _, spec := range kinds {
+			grouped := rng.Intn(2) == 0
+			keyOf := func(i int) string {
+				if grouped {
+					return keys[i]
+				}
+				return ScalarKey
+			}
+			// Per-survivor partial states, merged in a random tree
+			// shape: repeatedly merge a random state into another until
+			// one remains.
+			parts := make([]*GroupedState, 0, len(survivors))
+			for _, i := range survivors {
+				st := NewGrouped(spec, 0)
+				st.AddKeyed(nodes[i], keyOf(i), vals[i])
+				parts = append(parts, st)
+			}
+			for len(parts) > 1 {
+				i := rng.Intn(len(parts))
+				j := rng.Intn(len(parts) - 1)
+				if j >= i {
+					j++
+				}
+				if err := parts[i].Merge(parts[j]); err != nil {
+					t.Fatalf("merge: %v", err)
+				}
+				parts[j] = parts[len(parts)-1]
+				parts = parts[:len(parts)-1]
+			}
+			merged := NewGrouped(spec, 0)
+			if len(parts) == 1 {
+				merged = parts[0]
+			}
+			// Oracle: direct aggregation over the survivors.
+			direct := NewGrouped(spec, 0)
+			for _, i := range survivors {
+				direct.AddKeyed(nodes[i], keyOf(i), vals[i])
+			}
+			if got, want := merged.Nodes(), direct.Nodes(); got != want {
+				t.Fatalf("trial %d %v: merged nodes %d, direct %d", trial, spec, got, want)
+			}
+			if got, want := merged.Nodes(), int64(len(survivors)); got != want {
+				t.Fatalf("trial %d %v: contributions %d, survivors %d", trial, spec, got, want)
+			}
+			gr, dr := merged.Result(), direct.Result()
+			if !value.Equal(gr.Value, dr.Value) {
+				t.Fatalf("trial %d %v (grouped=%v): merged %v, direct %v over %d survivors",
+					trial, spec, grouped, gr.Value, dr.Value, len(survivors))
+			}
+			if len(gr.Entries) != len(dr.Entries) {
+				t.Fatalf("trial %d %v: merged %d entries, direct %d", trial, spec, len(gr.Entries), len(dr.Entries))
+			}
+			mg, dg := merged.Results(), direct.Results()
+			if len(mg) != len(dg) {
+				t.Fatalf("trial %d %v: merged %d groups, direct %d", trial, spec, len(mg), len(dg))
+			}
+			for k, dv := range dg {
+				if !value.Equal(mg[k].Value, dv.Value) {
+					t.Fatalf("trial %d %v: group %s merged %v, direct %v", trial, spec, k, mg[k].Value, dv.Value)
+				}
+			}
+		}
+	}
+}

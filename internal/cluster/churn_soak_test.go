@@ -1,0 +1,414 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/moara/moara/internal/core"
+	"github.com/moara/moara/internal/pastry"
+	"github.com/moara/moara/internal/workload"
+)
+
+// churnTestOptions boots a deployment with the liveness path armed the
+// way the churn experiments do: heartbeats at a fraction of the epoch,
+// obituary purge, epoch-scale lease renewals.
+func churnTestOptions(n int, seed int64, period time.Duration) Options {
+	return Options{
+		N:    n,
+		Seed: seed,
+		Node: core.Config{
+			ChildTimeout:     2 * period,
+			QueryTimeout:     10 * period,
+			SubTTL:           8 * period,
+			SubRenewInterval: 2 * period,
+		},
+		Overlay: pastry.Config{
+			HeartbeatEvery: period / 2,
+			HeartbeatMiss:  2,
+		},
+	}
+}
+
+const soakSlices = 6
+
+func soakSlice(i int) string { return fmt.Sprintf("s%d", i%soakSlices) }
+
+// TestChurnSoak runs a standing grouped query over 60 virtual seconds
+// of continuous Poisson kill/join/recover and checks every delivered
+// Sample against a per-epoch oracle:
+//
+//   - RootEpoch is monotone (the stream never skips backward, drops, or
+//     duplicates root ticks);
+//   - internal consistency: for count(*), the aggregate value, the sum
+//     of the per-slice group counts, and Contributors all agree;
+//   - Contributors never exceeds the live population plus the nodes
+//     killed inside the purge window (a corpse is counted until its
+//     obituary lands — never longer);
+//   - mean completeness against the harness's exact live count stays
+//     within the churn experiment's acceptance bound (>= 0.95), and no
+//     sample loses more than a bounded fraction of the population;
+//   - after churn stops, the stream reconverges to the exact per-slice
+//     oracle over live nodes and stays there.
+func TestChurnSoak(t *testing.T) {
+	const (
+		n      = 120
+		period = 250 * time.Millisecond
+		window = 60 * time.Second
+	)
+	c := New(churnTestOptions(n, 71, period))
+	for i := range c.Nodes {
+		c.Nodes[i].Store().SetString("slice", soakSlice(i))
+	}
+	req, err := core.ParseRequest("count(*) group by slice every 250ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type obs struct {
+		at           time.Duration
+		rootEpoch    uint64
+		contributors int64
+		total        int64
+		groupSum     int64
+		live         int
+		cold         bool
+		groups       map[string]int64
+	}
+	var (
+		samples   []obs
+		warm      bool
+		recording bool
+	)
+	if _, err := c.Subscribe(0, req, func(s core.Sample) {
+		if !s.ColdStart {
+			warm = true
+		}
+		if !recording {
+			return
+		}
+		total, _ := s.Result.Agg.Value.AsInt()
+		var groupSum int64
+		groups := make(map[string]int64, len(s.Result.Groups))
+		for k, g := range s.Result.Groups {
+			v, _ := g.Value.AsInt()
+			groupSum += v
+			groups[k] = v
+		}
+		samples = append(samples, obs{
+			at:           s.At,
+			rootEpoch:    s.RootEpoch,
+			contributors: s.Contributors,
+			total:        total,
+			groupSum:     groupSum,
+			live:         c.LiveCount(),
+			cold:         s.ColdStart,
+			groups:       groups,
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; !warm && i < 64; i++ {
+		c.RunFor(period)
+	}
+	if !warm {
+		t.Fatal("standing subscription never warmed")
+	}
+
+	// Schedule the Poisson churn: ~1% of nodes leave per epoch, matched
+	// by arrivals (half recoveries, half fresh joins).
+	rng := rand.New(rand.NewSource(71))
+	var killTimes []time.Duration
+	for _, ev := range workload.Churn(rng, n, workload.ChurnHalfLife(0.01, period), window, 0.5) {
+		ev := ev
+		c.Net.Schedule(ev.At, func() {
+			switch ev.Kind {
+			case workload.ChurnKill:
+				candidates := c.LiveIndices()[1:]
+				if len(candidates) == 0 {
+					return
+				}
+				killTimes = append(killTimes, c.Net.Now())
+				c.Kill(candidates[rng.Intn(len(candidates))])
+			case workload.ChurnJoin:
+				i := c.AddNode()
+				c.Nodes[i].Store().SetString("slice", soakSlice(i))
+			case workload.ChurnRecover:
+				var dead []int
+				for i := 1; i < len(c.Nodes); i++ {
+					if c.Down(i) {
+						dead = append(dead, i)
+					}
+				}
+				if len(dead) == 0 {
+					i := c.AddNode()
+					c.Nodes[i].Store().SetString("slice", soakSlice(i))
+					return
+				}
+				c.Recover(dead[rng.Intn(len(dead))])
+			}
+		})
+	}
+	recording = true
+	c.RunFor(window)
+
+	if len(samples) < int(window/period)*8/10 {
+		t.Fatalf("stream starved: %d samples over %d epochs", len(samples), int(window/period))
+	}
+
+	var (
+		complSum   float64
+		warmCount  int
+		worst      = 1.0
+		overMax    int64
+		overRun    int
+		overRunMax int
+		coldCount  int
+	)
+	prevRoot := uint64(0)
+	for i, o := range samples {
+		// Stream integrity and internal consistency hold for EVERY
+		// sample, cold or warm: RootEpoch never goes backward (root
+		// failovers fast-forward via SubscribeMsg.MinEpoch and the
+		// front-end drops demoted roots' stale epochs), and for
+		// count(*) the aggregate value, the per-slice sum, and the
+		// Contributors count all agree.
+		if o.rootEpoch < prevRoot {
+			t.Fatalf("sample %d: RootEpoch went backward (%d -> %d)", i, prevRoot, o.rootEpoch)
+		}
+		prevRoot = o.rootEpoch
+		if o.total != o.contributors || o.groupSum != o.total {
+			t.Fatalf("sample %d internally inconsistent: total=%d groupSum=%d contributors=%d",
+				i, o.total, o.groupSum, o.contributors)
+		}
+		// Overcounting must be transient: a corpse is counted until its
+		// obituary lands, and a repaired subtree can be double-carried
+		// for at most the stale-report window while its retraction is
+		// in flight — so any run of samples exceeding the live
+		// population must die out within the purge+stale horizon.
+		if over := o.contributors - int64(o.live); over > 0 {
+			overRun++
+			if !o.cold && over > overMax {
+				// Magnitude is bounded only outside rebuild windows: a
+				// root takeover can transiently double-carry big
+				// subtrees (pull + rebuilt tree) and is marked cold.
+				overMax = over
+			}
+		} else {
+			overRun = 0
+		}
+		if overRun > overRunMax {
+			overRunMax = overRun
+		}
+		if o.cold {
+			// Root handovers re-raise ColdStart: the rebuilt pipeline's
+			// refill samples are flagged, not presented as steady state.
+			coldCount++
+			continue
+		}
+		warmCount++
+		compl := float64(o.contributors) / float64(o.live)
+		if compl > 1 {
+			compl = 1
+		}
+		if compl < worst {
+			worst = compl
+		}
+		complSum += compl
+	}
+	mean := complSum / float64(warmCount)
+	t.Logf("soak: %d samples (%d cold), %d kills, warm mean completeness %.3f, worst %.3f, max overcount %d, longest overcount run %d epochs",
+		len(samples), coldCount, len(killTimes), mean, worst, overMax, overRunMax)
+	if warmCount < len(samples)/2 {
+		t.Errorf("only %d of %d samples warm: failover windows dominate the stream", warmCount, len(samples))
+	}
+	if overRunMax > 10 {
+		t.Errorf("Contributors exceeded live population for %d consecutive epochs: a double-count survived past the purge+stale horizon", overRunMax)
+	}
+	if overMax > int64(float64(n)/4) {
+		t.Errorf("max warm overcount %d exceeds a quarter of the population", overMax)
+	}
+	if mean < 0.95 {
+		t.Errorf("warm mean completeness %.3f below the 0.95 acceptance bound", mean)
+	}
+	if worst < 0.5 {
+		t.Errorf("worst warm-sample completeness %.3f lost more than half the population", worst)
+	}
+
+	// Quiet tail: churn stops and the long-lived subscription must
+	// reconverge to the exact per-slice oracle over live nodes — and
+	// stay there.
+	c.RunFor(40 * period)
+	oracle := make(map[string]int64)
+	var live int64
+	for i := range c.Nodes {
+		if c.Down(i) {
+			continue
+		}
+		live++
+		oracle[soakSlice(i)]++
+	}
+	final := samples[len(samples)-1]
+	if final.contributors != live {
+		t.Errorf("post-churn contributors = %d, want %d live", final.contributors, live)
+	}
+	for k, want := range oracle {
+		if final.groups[k] != want {
+			t.Errorf("post-churn slice %s = %d, want %d", k, final.groups[k], want)
+		}
+	}
+	if len(final.groups) != len(oracle) {
+		t.Errorf("post-churn groups = %d, want %d", len(final.groups), len(oracle))
+	}
+}
+
+// TestStandingRepairAfterInteriorKill is the deterministic repair bound
+// of the issue: kill the subscribed interior node carrying the largest
+// subtree and require (a) the coverage dip to start only after the
+// overlay purge (the stale-report window, bounded by detection time),
+// (b) full coverage of the live population restored within two epochs
+// of the dip starting — the overlay repairs the slot and the
+// subscription re-installs on the repaired tree within one epoch, plus
+// one epoch for the report pipeline — and (c) coverage to hold
+// afterward.
+func TestStandingRepairAfterInteriorKill(t *testing.T) {
+	const (
+		n      = 120
+		period = 250 * time.Millisecond
+	)
+	c := New(churnTestOptions(n, 73, period))
+	for i := range c.Nodes {
+		c.Nodes[i].Store().SetString("slice", soakSlice(i))
+	}
+	req, err := core.ParseRequest("count(*) every 250ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, recording := false, false
+	type obs struct {
+		at      time.Duration
+		covered bool
+	}
+	var trace []obs
+	if _, err := c.Subscribe(0, req, func(s core.Sample) {
+		if !s.ColdStart {
+			warm = true
+		}
+		if recording {
+			trace = append(trace, obs{at: s.At, covered: s.Contributors >= int64(c.LiveCount())})
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; !warm && i < 64; i++ {
+		c.RunFor(period)
+	}
+	if !warm {
+		t.Fatal("standing subscription never warmed")
+	}
+	c.RunFor(2 * period)
+
+	victim, best := -1, 0
+	for i := 1; i < len(c.Nodes); i++ {
+		for _, si := range c.Nodes[i].Subs() {
+			if !si.Root && si.Targets > best {
+				victim, best = i, si.Targets
+			}
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no subscribed interior node found")
+	}
+	recording = true
+	killAt := c.Net.Now()
+	c.Kill(victim)
+	c.RunFor(24 * period)
+
+	dipStart, dipLast := time.Duration(-1), time.Duration(-1)
+	for _, o := range trace {
+		if o.covered {
+			continue
+		}
+		if dipStart < 0 {
+			dipStart = o.at
+		}
+		dipLast = o.at
+	}
+	if dipStart < 0 {
+		t.Logf("victim %d (%d targets): coverage never dipped (stale window hid the repair)", victim, best)
+		return
+	}
+	detect := dipStart - killAt
+	dip := dipLast - dipStart + period
+	t.Logf("victim %d (%d targets): detect=%v dip=%v", victim, best, detect, dip)
+	// Detection: heartbeat misses (~1.5 periods) are hidden by the
+	// stale-report window (3 periods), so the dip cannot start later
+	// than stale expiry plus one delivery epoch.
+	if detect > 5*period {
+		t.Errorf("coverage dip started %v after the kill (> 5 epochs)", detect)
+	}
+	if dip > 2*period {
+		t.Errorf("coverage dip lasted %v (> 2 epochs): repair too slow", dip)
+	}
+	if dipLast >= trace[len(trace)-1].at {
+		t.Error("coverage did not hold after repair")
+	}
+}
+
+// TestJoinEntersStandingStream: a node joining a live cluster lands
+// inside the subscribed tree and must appear in the delivered samples
+// within a handful of epochs (one epoch from the moment a subscribed
+// parent learns about it, plus announcement propagation).
+func TestJoinEntersStandingStream(t *testing.T) {
+	const (
+		n      = 96
+		period = 250 * time.Millisecond
+	)
+	c := New(churnTestOptions(n, 79, period))
+	for i := range c.Nodes {
+		c.Nodes[i].Store().SetString("slice", soakSlice(i))
+	}
+	req, err := core.ParseRequest("count(*) every 250ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var latest core.Sample
+	warm := false
+	if _, err := c.Subscribe(0, req, func(s core.Sample) {
+		if !s.ColdStart {
+			warm = true
+		}
+		latest = s
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; !warm && i < 64; i++ {
+		c.RunFor(period)
+	}
+	if !warm {
+		t.Fatal("standing subscription never warmed")
+	}
+	if latest.Contributors != int64(n) {
+		t.Fatalf("pre-join contributors = %d, want %d", latest.Contributors, n)
+	}
+	for j := 0; j < 4; j++ {
+		i := c.AddNode()
+		c.Nodes[i].Store().SetString("slice", soakSlice(i))
+	}
+	// Join handshake + announcements, then at most one epoch for the
+	// subscribed parents to install the newcomers, plus pipeline depth.
+	deadline := 24
+	reached := -1
+	for e := 0; e < deadline; e++ {
+		c.RunFor(period)
+		if latest.Contributors == int64(n+4) {
+			reached = e
+			break
+		}
+	}
+	if reached < 0 {
+		t.Fatalf("joined nodes never appeared: contributors = %d, want %d", latest.Contributors, n+4)
+	}
+	t.Logf("4 joiners fully visible after %d epochs", reached+1)
+}

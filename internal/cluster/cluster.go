@@ -67,6 +67,9 @@ type Cluster struct {
 	IDs   []ids.ID
 	ByID  map[ids.ID]*core.Node
 
+	// down tracks nodes currently crashed (by index).
+	down map[int]bool
+
 	opts Options
 }
 
@@ -114,6 +117,7 @@ func New(opts Options) *Cluster {
 		Nodes: make([]*core.Node, 0, opts.N),
 		IDs:   make([]ids.ID, 0, opts.N),
 		ByID:  make(map[ids.ID]*core.Node, opts.N),
+		down:  make(map[int]bool),
 		opts:  opts,
 	}
 	for i := 0; i < opts.N; i++ {
@@ -146,11 +150,15 @@ func New(opts Options) *Cluster {
 // Node returns the i-th node.
 func (c *Cluster) Node(i int) *core.Node { return c.Nodes[i] }
 
-// Grow joins one new node into the running cluster through the real
+// AddNode joins one new node into the running cluster through the real
 // join protocol (§7 reconfiguration: overlay membership changes while
-// group trees are live) and returns its index. The caller should RunFor
-// a moment to let announcements settle.
-func (c *Cluster) Grow() int {
+// group trees are live) and returns its index. The join bootstraps via
+// a currently live member, so nodes can keep joining while earlier
+// members are crashed. The caller seeds the new node's attribute store
+// and RunFors a moment to let announcements settle; standing queries
+// whose tree the newcomer lands in re-install onto it within one epoch
+// of its announcements reaching a subscribed parent.
+func (c *Cluster) AddNode() int {
 	i := len(c.Nodes)
 	id := NodeID(i)
 	env := c.Net.AddNode(id)
@@ -159,8 +167,70 @@ func (c *Cluster) Grow() int {
 	c.Nodes = append(c.Nodes, n)
 	c.IDs = append(c.IDs, id)
 	c.ByID[id] = n
-	n.Overlay().Join(c.IDs[0])
+	n.Overlay().Join(c.liveBootstrap(i))
 	return i
+}
+
+// Grow is AddNode under its original name (kept for older callers).
+func (c *Cluster) Grow() int { return c.AddNode() }
+
+// liveBootstrap picks a live member (other than node i) for a join or
+// rejoin, preferring the lowest index for determinism.
+func (c *Cluster) liveBootstrap(i int) ids.ID {
+	for j := range c.Nodes {
+		if j != i && !c.down[j] {
+			return c.IDs[j]
+		}
+	}
+	panic("cluster: no live bootstrap node")
+}
+
+// Kill crashes node i: it stops sending, receiving, and ticking, but —
+// unlike the old test-only pattern of calling Overlay().RemoveNode on
+// every survivor — nothing else is touched. The survivors purge the
+// dead node through the liveness path: its leaf-set neighbors detect the
+// silence by heartbeat misses (enable Overlay.HeartbeatEvery) and gossip
+// an obituary cluster-wide, which also drops every Moara-layer child
+// state and buffered epoch report referencing the corpse. Without
+// heartbeats the overlay never heals and queries rely on child timeouts
+// alone, exactly as a real deployment without failure detection would.
+func (c *Cluster) Kill(i int) {
+	if c.down[i] {
+		return
+	}
+	c.down[i] = true
+	c.Net.SetDown(c.IDs[i], true)
+}
+
+// Recover restarts a crashed node: it retains its identifier, attribute
+// store, and pre-crash protocol state (the crash-stop model of a
+// process pause), rejoins the overlay via a live bootstrap — clearing
+// the death certificates the cluster holds for it — and re-arms the
+// background loops whose timers died during the outage.
+func (c *Cluster) Recover(i int) {
+	if !c.down[i] {
+		return
+	}
+	delete(c.down, i)
+	c.Net.SetDown(c.IDs[i], false)
+	c.Nodes[i].Recover(c.liveBootstrap(i))
+}
+
+// Down reports whether node i is currently crashed.
+func (c *Cluster) Down(i int) bool { return c.down[i] }
+
+// LiveCount reports the number of currently live nodes.
+func (c *Cluster) LiveCount() int { return len(c.Nodes) - len(c.down) }
+
+// LiveIndices returns the indices of currently live nodes in order.
+func (c *Cluster) LiveIndices() []int {
+	out := make([]int, 0, c.LiveCount())
+	for i := range c.Nodes {
+		if !c.down[i] {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 // RunFor advances the simulation.

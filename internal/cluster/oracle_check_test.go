@@ -8,8 +8,10 @@ import (
 
 	"github.com/moara/moara/internal/aggregate"
 	"github.com/moara/moara/internal/core"
+	"github.com/moara/moara/internal/pastry"
 	"github.com/moara/moara/internal/predicate"
 	"github.com/moara/moara/internal/value"
+	"github.com/moara/moara/internal/workload"
 )
 
 // TestRandomQueriesMatchBruteForce is the end-to-end correctness
@@ -168,6 +170,106 @@ func TestTopKAndEnumEndToEnd(t *testing.T) {
 	}
 	if len(enumRes.Agg.Entries) != 32 {
 		t.Fatalf("enum entries = %d, want 32", len(enumRes.Agg.Entries))
+	}
+}
+
+// TestKillSubsetPartialAggregation extends the §3.1 partial-aggregation
+// law to arbitrary kill subsets: after crashing a random subset of
+// nodes and letting the liveness path purge them (Cluster.Kill — no
+// RemoveNode boilerplate), the merged partial states of the survivors
+// must equal the oracle aggregate computed directly over the survivors,
+// and the reported Contributors must equal the survivor count — for
+// every aggregate kind, including the keyed GroupedState of `group by`
+// queries.
+func TestKillSubsetPartialAggregation(t *testing.T) {
+	const n = 110
+	c := New(Options{
+		N: n, Seed: 83,
+		Node:    core.Config{ChildTimeout: 400 * time.Millisecond},
+		Overlay: pastry.Config{HeartbeatEvery: 150 * time.Millisecond, HeartbeatMiss: 2},
+	})
+	rng := rand.New(rand.NewSource(83))
+	for i, nd := range c.Nodes {
+		nd.Store().SetInt("val", int64(rng.Intn(1000)))
+		nd.Store().SetString("slice", fmt.Sprintf("s%d", i%7))
+	}
+	queries := []string{
+		"sum(val)", "count(*)", "min(val)", "max(val)", "avg(val)",
+		"std(val)", "top3(val)", "enum(val)",
+		"count(*) group by slice", "avg(val) group by slice",
+	}
+	// Warm the trees, then kill random subsets in rounds, recovering
+	// some victims between rounds.
+	if _, err := c.ExecuteText(0, "sum(val)"); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		for _, i := range workload.ToggleBatch(rng, n-1, 8+rng.Intn(12)) {
+			c.Kill(i + 1) // spare the front-end
+		}
+		if round > 0 {
+			var dead []int
+			for i := 1; i < n; i++ {
+				if c.Down(i) {
+					dead = append(dead, i)
+				}
+			}
+			for _, i := range workload.ToggleBatch(rng, len(dead), 4) {
+				c.Recover(dead[i])
+			}
+		}
+		// Detection + purge + repair settle.
+		c.RunFor(3 * time.Second)
+
+		survivors := c.LiveIndices()
+		for _, q := range queries {
+			req, err := core.ParseRequest(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Oracle: direct aggregation over survivor stores, through
+			// the same keyed engine the distributed path uses.
+			want := aggregate.NewGrouped(req.Spec, 0)
+			for _, i := range survivors {
+				key := aggregate.ScalarKey
+				if req.GroupBy != "" {
+					key = c.Nodes[i].Store().Get(req.GroupBy).Key()
+				}
+				v := value.Int(1) // count(*): every member contributes 1
+				if req.Attr != "*" {
+					v = c.Nodes[i].Store().Get(req.Attr)
+				}
+				want.AddKeyed(c.IDs[i], key, v)
+			}
+			res, err := c.Execute(0, req)
+			if err != nil {
+				t.Fatalf("round %d %q: %v", round, q, err)
+			}
+			if res.Contributors != int64(len(survivors)) {
+				t.Errorf("round %d %q: contributors = %d, want %d survivors",
+					round, q, res.Contributors, len(survivors))
+			}
+			wr := want.Result()
+			if wr.Value.IsValid() != res.Agg.Value.IsValid() ||
+				(wr.Value.IsValid() && !valuesClose(wr.Value, res.Agg.Value)) {
+				t.Errorf("round %d %q: got %v, want %v over %d survivors",
+					round, q, res.Agg.Value, wr.Value, len(survivors))
+			}
+			if len(res.Agg.Entries) != len(wr.Entries) {
+				t.Errorf("round %d %q: %d entries, want %d", round, q, len(res.Agg.Entries), len(wr.Entries))
+			}
+			if req.GroupBy != "" {
+				wantGroups := want.Results()
+				if len(res.Groups) != len(wantGroups) {
+					t.Errorf("round %d %q: %d groups, want %d", round, q, len(res.Groups), len(wantGroups))
+				}
+				for k, wv := range wantGroups {
+					if gv, ok := res.Groups[k]; !ok || !valuesClose(gv.Value, wv.Value) {
+						t.Errorf("round %d %q: group %s = %v, want %v", round, q, k, res.Groups[k].Value, wv.Value)
+					}
+				}
+			}
+		}
 	}
 }
 

@@ -74,10 +74,36 @@ type Result struct {
 	// in the tree, so some per-key answers are partial (the remainder
 	// is under aggregate.OtherKey; Agg stays exact).
 	Truncated bool
-	// Contributors is the number of nodes that contributed a value.
+	// Contributors is the number of group members that answered the
+	// query. A member missing the query attribute still counts — it was
+	// reached and evaluated — so Contributors measures coverage of the
+	// membership, not of the attribute. Under churn it is the numerator
+	// of the answer's completeness.
 	Contributors int64
+	// Expected is the system's own estimate of the population the query
+	// should have reached: the sum over the chosen cover's trees of each
+	// root's query-plane size estimate (NO-PRUNE count plus cold-region
+	// estimate). It is an indicator, not a membership count — composite
+	// covers overlap and NO-PRUNE includes recently departed members —
+	// and is zero when no tree root answered.
+	Expected float64
 	// Stats describes planning and timing.
 	Stats ExecStats
+}
+
+// Completeness is Contributors/Expected clamped to [0,1]: the system's
+// own estimate of how much of the queried population this answer
+// covers. It returns 1 when Expected is unknown (zero); see the README
+// for what it does and does not promise under churn.
+func (r Result) Completeness() float64 {
+	if r.Expected <= 0 {
+		return 1
+	}
+	c := float64(r.Contributors) / r.Expected
+	if c > 1 {
+		return 1
+	}
+	return c
 }
 
 // frontend drives composite-query planning, size probes, sub-queries,
@@ -111,6 +137,8 @@ type feQuery struct {
 
 	groupsPending map[string]bool
 	agg           *aggregate.GroupedState
+	contrib       int64
+	expected      float64
 	queryCancel   func()
 
 	stats        ExecStats
@@ -126,6 +154,51 @@ func (fe *frontend) init(n *Node) {
 	fe.probeCache = make(map[string]probeEntry)
 	fe.subs = make(map[QueryID]*feSub)
 	fe.subProbes = make(map[QueryID]*feSub)
+}
+
+// recover re-arms the front-end's periodic loops after a crash-recovery
+// (see Node.Recover). In-flight one-shot queries are finished with
+// whatever partial state they hold — their timeout timers died with the
+// crash, so without this their callbacks would never fire — and
+// standing-query renewal and empty-plan streams restart. Probe rounds
+// abandoned mid-flight fall back to conservative costs at the next
+// renewal.
+func (fe *frontend) recover() {
+	seen := make(map[QueryID]*feQuery)
+	for _, fq := range fe.pending {
+		seen[fq.qid] = fq
+	}
+	for _, fq := range fe.probeIndex {
+		seen[fq.qid] = fq
+	}
+	for _, fq := range seen {
+		fq.finish(fe.n, nil)
+	}
+	for _, fs := range fe.subs {
+		for pqid := range fs.probeQIDs {
+			delete(fe.subProbes, pqid)
+		}
+		fs.probeQIDs = nil
+		if fs.probeCancel != nil {
+			// A probe timeout armed before the crash can still be
+			// pending (timers are only dropped if they fire during the
+			// outage); left armed, it would abort the next renewal's
+			// probe round with stale state.
+			fs.probeCancel()
+			fs.probeCancel = nil
+		}
+		if fs.plan.empty {
+			if fs.emptyCancel != nil {
+				fs.emptyCancel()
+			}
+			fe.armEmptyTick(fs)
+			continue
+		}
+		if fs.renewCancel != nil {
+			fs.renewCancel()
+		}
+		fe.armRenew(fs)
+	}
 }
 
 func (n *Node) nextQID() QueryID {
@@ -326,6 +399,13 @@ func (fe *frontend) handleQueryResp(_ ids.ID, rm ResponseMsg) {
 	if !rm.Dup && rm.State != nil {
 		_ = fq.agg.Merge(rm.State)
 	}
+	if !rm.Dup {
+		// Each tree root's response carries the subtree members that
+		// answered plus the root's population estimate (np piggyback),
+		// which at the root spans the whole tree.
+		fq.contrib += rm.Contributors
+		fq.expected += float64(rm.Np) + rm.Unknown
+	}
 	if len(fq.groupsPending) == 0 {
 		fq.finish(fe.n, nil)
 	}
@@ -356,7 +436,8 @@ func (fq *feQuery) finish(n *Node, err error) {
 	}
 	res := Result{
 		Agg:          fq.agg.Result(),
-		Contributors: fq.agg.Nodes(),
+		Contributors: fq.contrib,
+		Expected:     fq.expected,
 	}
 	if fq.req.GroupBy != "" {
 		res.Groups = fq.agg.Results()

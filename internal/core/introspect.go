@@ -73,6 +73,20 @@ type SubInfo struct {
 	Children int
 	// Targets is the number of children this node has installed.
 	Targets int
+	// Parent is the short ID of the node reports flow to ("" at the
+	// root).
+	Parent string
+	// Orphaned marks a subscription whose parent was purged as dead
+	// and which is pulling directly to the root until re-adopted.
+	Orphaned bool
+	// Gen is the newest renewal round seen.
+	Gen uint64
+	// Contributors is the member count of the node's latest report
+	// (local contribution plus buffered child reports).
+	Contributors int64
+	// Reporters lists the short IDs of children with a buffered report
+	// (sorted; debugging and shell introspection).
+	Reporters []string
 }
 
 // Subs snapshots every subscription entry this node holds, sorted by
@@ -80,14 +94,33 @@ type SubInfo struct {
 func (n *Node) Subs() []SubInfo {
 	out := make([]SubInfo, 0, len(n.subs))
 	for _, sub := range n.subs {
+		parent := ""
+		if !sub.root {
+			parent = sub.parent.Short()
+		}
+		var contrib int64
+		reporters := make([]string, 0, len(sub.reports))
+		for id, rep := range sub.reports {
+			contrib += rep.contrib
+			reporters = append(reporters, id.Short())
+		}
+		sort.Strings(reporters)
+		if n.subEval(sub) {
+			contrib++
+		}
 		out = append(out, SubInfo{
-			SID:      sub.sid,
-			Group:    sub.group.canon,
-			Root:     sub.root,
-			Period:   sub.period,
-			Epoch:    sub.epoch,
-			Children: len(sub.reports),
-			Targets:  len(sub.targets),
+			SID:          sub.sid,
+			Group:        sub.group.canon,
+			Root:         sub.root,
+			Period:       sub.period,
+			Epoch:        sub.epoch,
+			Children:     len(sub.reports),
+			Targets:      len(sub.targets),
+			Parent:       parent,
+			Orphaned:     sub.orphaned,
+			Gen:          sub.gen,
+			Contributors: contrib,
+			Reporters:    reporters,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -90,12 +90,18 @@ func (QueryMsg) MsgKind() string { return "moara.query" }
 // case. Np/Unknown piggyback the subtree's query-plane size for lazy
 // cost maintenance (§6.3).
 type ResponseMsg struct {
-	QID     QueryID
-	Group   string
-	State   aggregate.State
-	Dup     bool
-	Np      int
-	Unknown float64
+	QID   QueryID
+	Group string
+	State aggregate.State
+	Dup   bool
+	// Contributors counts the group members in this subtree that
+	// answered the query (claimed their contribution), whether or not
+	// they held a valid value for the query attribute — the numerator of
+	// the answer's completeness accounting. It can exceed State.Nodes()
+	// when members lack the attribute.
+	Contributors int64
+	Np           int
+	Unknown      float64
 }
 
 // MsgKind labels the message for accounting.
@@ -173,6 +179,18 @@ type SubscribeMsg struct {
 	GroupBy string
 	// Period is the epoch length.
 	Period time.Duration
+	// Gen is the front-end's renewal round counter. Installs cascade it
+	// down-tree; a node ignores installs older than the newest round it
+	// has seen, so after a tree repair the stale chains hanging off a
+	// dead interior node cannot keep stealing children from the rebuilt
+	// tree (see InstallMsg.Gen).
+	Gen uint64
+	// MinEpoch is the newest root epoch the front-end has seen for this
+	// tree. A root taking over after a failover fast-forwards its epoch
+	// counter past it, keeping Sample.RootEpoch monotone across root
+	// deaths — a backward jump in the delivered stream always means a
+	// real fault, never a failover.
+	MinEpoch uint64
 	// ReplyTo is the front-end that receives one SampleMsg per epoch.
 	ReplyTo ids.ID
 }
@@ -193,7 +211,17 @@ type InstallMsg struct {
 	Spec    aggregate.Spec
 	GroupBy string
 	Period  time.Duration
-	Level   int
+	// Gen is the renewal round this install belongs to (cascaded from
+	// SubscribeMsg.Gen). A receiver drops installs from older rounds —
+	// after a root or interior death, the orphaned old chain keeps
+	// refreshing its stale edges until its leases expire, and without
+	// the round gate those refreshes would fight the repaired tree for
+	// children indefinitely. A round-advancing install that changes the
+	// parent also retracts the child's contribution from the old parent
+	// (an empty replace-semantics report), so a member is never carried
+	// along two paths across rounds.
+	Gen   uint64
+	Level int
 	// Jump marks a separate-query-plane shortcut: the receiver was
 	// reached by bypassing its tree parent (§5); epoch reports flow
 	// back along the shortcut.
@@ -218,6 +246,10 @@ type EpochReportMsg struct {
 	Epoch uint64
 	// State is the subtree's keyed partial aggregate.
 	State aggregate.State
+	// Contributors counts the subtree members folded into State this
+	// epoch (including attribute-less members), like
+	// ResponseMsg.Contributors.
+	Contributors int64
 	// Np/Unknown piggyback the subtree's query-plane size, like
 	// ResponseMsg: lazy cost maintenance (§6.3) keeps working — and
 	// cover re-probes stay meaningful — under pure standing load.
@@ -239,6 +271,13 @@ type SampleMsg struct {
 	At time.Duration
 	// State is the whole tree's keyed aggregate for the epoch.
 	State aggregate.State
+	// Contributors counts the members that reached this epoch's
+	// aggregate (see ResponseMsg.Contributors).
+	Contributors int64
+	// Expected is the root's estimate of the population its tree
+	// currently reaches (np + cold-region estimate); with Contributors
+	// it gives the sample's completeness indicator.
+	Expected float64
 }
 
 // MsgKind labels the message for accounting.

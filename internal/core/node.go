@@ -43,6 +43,10 @@ type Node struct {
 	targetsGen   int
 	targetsCache map[int][]pastry.BroadcastTarget
 
+	// subsGen is the overlay generation the subscription tables were
+	// last reconciled against (see maybeResyncSubs).
+	subsGen int
+
 	// outbox is the per-destination coalescing buffer (wire batching):
 	// sends within one CoalesceWindow to the same neighbor ship as a
 	// single BatchMsg. order keeps flushes deterministic.
@@ -52,6 +56,7 @@ type Node struct {
 
 	qidCounter uint64
 	gcArmed    bool
+	gcCancel   func()
 	closed     bool
 
 	// Fallback receives messages the node does not understand (used by
@@ -79,12 +84,68 @@ func NewNode(env simnet.Env, cfg Config, overlayCfg pastry.Config) *Node {
 		groupCache:   make(map[string]groupSpec),
 		targetsCache: make(map[int][]pastry.BroadcastTarget),
 		targetsGen:   -1,
+		subsGen:      -1,
 	}
 	n.overlay = pastry.New(env, overlayCfg)
 	n.overlay.Deliver = n.handleRouted
+	n.overlay.OnNodeRemoved = n.onPeerRemoved
 	n.fe.init(n)
 	n.store.Subscribe(n.onAttrChange)
 	return n
+}
+
+// onPeerRemoved reacts to the overlay purging a failed node (heartbeat
+// detection or a gossiped obituary): every Moara-layer reference to the
+// dead peer is dropped in the same event, so no stale partial aggregate
+// or child status can be merged past the purge — the keystone of the
+// no-double-counting argument for churn repair. Orphaned tree state
+// (the dead peer was our parent) reverts to the accept-any-parent
+// posture of §7 reconfiguration, and in-flight aggregations stop
+// waiting for the dead child instead of burning the full ChildTimeout.
+func (n *Node) onPeerRemoved(dead ids.ID) {
+	if n.closed {
+		return
+	}
+	for _, ps := range n.preds {
+		changed := false
+		if _, ok := ps.children[dead]; ok {
+			delete(ps.children, dead)
+			changed = true
+		}
+		if ps.hasParent && ps.parent == dead {
+			ps.hasParent = false
+			ps.lastSentValid = false
+			changed = true
+		}
+		if changed {
+			// Recompute qSet without the dead child and reconcile the
+			// standing-query installs (syncSubs): a repaired tree edge is
+			// re-subscribed as soon as the overlay knows about it.
+			n.onStateChange(ps)
+		}
+	}
+	for _, sub := range n.subs {
+		delete(sub.reports, dead)
+		delete(sub.targets, dead)
+		if !sub.root && sub.parent == dead {
+			sub.orphaned = true
+		}
+	}
+	var finished []*exec
+	for _, ex := range n.execs {
+		if ex.pending[dead] {
+			delete(ex.pending, dead)
+			if len(ex.pending) == 0 {
+				finished = append(finished, ex)
+			}
+		}
+	}
+	for _, ex := range finished {
+		if ex.cancel != nil {
+			ex.cancel()
+		}
+		n.finishExec(ex)
+	}
 }
 
 // Overlay exposes the node's overlay layer (bootstrap, inspection).
@@ -131,6 +192,36 @@ func (n *Node) Close() {
 		}
 	}
 	n.overlay.Close()
+}
+
+// Recover restarts the node's background loops after a crash-recovery.
+// The runtime drops timer callbacks that fire while a node is down, so
+// a recovered node's periodic loops (overlay heartbeats, the GC sweep,
+// subscription epoch ticks, front-end renewals) are dead; Recover
+// re-arms them and rejoins the overlay via bootstrap, which also
+// re-announces this node to peers holding a death certificate for it.
+// Subscriptions whose lease expired while the node was down are dropped
+// by their first re-armed tick; fresher ones resume seamlessly.
+func (n *Node) Recover(bootstrap ids.ID) {
+	if n.closed {
+		return
+	}
+	n.overlay.Rejoin(bootstrap)
+	if n.gcCancel != nil {
+		// A GC timer armed before the crash may still be pending; left
+		// alone, its callback would re-arm a second self-perpetuating
+		// sweep chain alongside the fresh one.
+		n.gcCancel()
+	}
+	n.gcArmed = false
+	n.armGC()
+	for _, sub := range n.subs {
+		if sub.cancelTick != nil {
+			sub.cancelTick()
+		}
+		n.armEpoch(sub)
+	}
+	n.fe.recover()
 }
 
 // send queues m for to through the per-destination outbox. With
@@ -194,6 +285,11 @@ func (n *Node) Handle(from ids.ID, m any) {
 		return
 	}
 	if n.overlay.Handle(from, m) {
+		// Overlay maintenance may have changed routing state (a join
+		// announcement, an obituary purge, a repaired slot): reconcile
+		// standing-query installs right away instead of waiting for the
+		// next epoch tick.
+		n.maybeResyncSubs()
 		return
 	}
 	switch msg := m.(type) {
@@ -208,7 +304,7 @@ func (n *Node) Handle(from ids.ID, m any) {
 	case InstallMsg:
 		n.handleInstall(from, msg)
 	case EpochReportMsg:
-		n.handleEpochReport(from, msg)
+		n.handleEpochReport(from, msg, false)
 	case SampleMsg:
 		n.fe.handleSample(from, msg)
 	case CancelMsg:
@@ -220,9 +316,37 @@ func (n *Node) Handle(from ids.ID, m any) {
 	}
 }
 
+// maybeResyncSubs reconciles every subscription's installed children
+// with the query target set after the overlay's routing state changed
+// (tracked by the generation counter, so stable gossip is free). This
+// is the fast half of churn repair: a replacement child learned through
+// the obituary/repair-probe exchange is installed within milliseconds
+// of the purge, and the per-epoch reconcile in epochTick is only the
+// backstop.
+func (n *Node) maybeResyncSubs() {
+	if len(n.subs) == 0 {
+		return
+	}
+	g := n.overlay.Gen()
+	if g == n.subsGen {
+		return
+	}
+	n.subsGen = g
+	for _, sub := range n.subs {
+		ps := n.preds[sub.group.canon]
+		if ps == nil && n.cfg.Mode != ModeGlobal {
+			continue
+		}
+		if ps != nil && n.cfg.Mode != ModeGlobal {
+			n.recomputeState(ps)
+		}
+		n.pushInstalls(sub, ps, false)
+	}
+}
+
 // handleRouted receives payloads delivered by the overlay to this node
 // as the owner of their key.
-func (n *Node) handleRouted(from ids.ID, payload any, _ ids.ID) {
+func (n *Node) handleRouted(key ids.ID, payload any, origin ids.ID) {
 	switch msg := payload.(type) {
 	case SubQueryMsg:
 		n.handleSubQuery(msg)
@@ -230,8 +354,12 @@ func (n *Node) handleRouted(from ids.ID, payload any, _ ids.ID) {
 		n.handleProbe(msg)
 	case SubscribeMsg:
 		n.handleSubscribe(msg)
+	case EpochReportMsg:
+		// The orphan pull: a subtree whose uptree chain was severed by a
+		// crash streams to the tree root through the overlay.
+		n.handleEpochReport(origin, msg, true)
 	case CancelMsg:
-		n.handleCancel(from, msg, true)
+		n.handleCancel(key, msg, true)
 	}
 }
 
@@ -429,6 +557,9 @@ type exec struct {
 	groupBy string
 	replyTo ids.ID
 	state   *aggregate.GroupedState
+	// contrib counts members that answered in this subtree (completeness
+	// accounting; a member without the query attribute still counts).
+	contrib int64
 	pending map[ids.ID]bool
 	cancel  func()
 }
@@ -535,6 +666,7 @@ func (n *Node) disseminate(ps *predState, qm QueryMsg, replyTo ids.ID) {
 		state:   aggregate.NewGrouped(qm.Spec, n.cfg.MaxGroupKeys),
 	}
 	if n.evalQuery(ps, qm) && n.claimAnswer(qm.QID) {
+		ex.contrib++
 		ex.state.AddKeyed(n.self, n.groupKey(qm.GroupBy), n.localValue(qm.Attr))
 	}
 	if len(targets) == 0 {
@@ -568,6 +700,7 @@ func (n *Node) disseminateGlobal(qm QueryMsg) {
 		state:   aggregate.NewGrouped(qm.Spec, n.cfg.MaxGroupKeys),
 	}
 	if n.evalGlobal(qm) && n.claimAnswer(qm.QID) {
+		ex.contrib++
 		ex.state.AddKeyed(n.self, n.groupKey(qm.GroupBy), n.localValue(qm.Attr))
 	}
 	targets := n.structural(qm.Level)
@@ -667,6 +800,9 @@ func (n *Node) handleResponse(from ids.ID, rm ResponseMsg) {
 	if !rm.Dup && rm.State != nil {
 		_ = ex.state.Merge(rm.State)
 	}
+	if !rm.Dup {
+		ex.contrib += rm.Contributors
+	}
 	// Refresh the child's lazily maintained subtree cost (§6.3): np
 	// piggybacks on every query response, reaching ancestors even from
 	// children that never send status updates (NO-UPDATE).
@@ -706,11 +842,12 @@ func (n *Node) finishExec(ex *exec) {
 		np, unknown = ps.np, ps.unknown
 	}
 	n.send(ex.replyTo, ResponseMsg{
-		QID:     ex.qid,
-		Group:   ex.group,
-		State:   ex.state,
-		Np:      np,
-		Unknown: unknown,
+		QID:          ex.qid,
+		Group:        ex.group,
+		State:        ex.state,
+		Contributors: ex.contrib,
+		Np:           np,
+		Unknown:      unknown,
 	})
 }
 
@@ -762,7 +899,7 @@ func (n *Node) armGC() {
 		period = time.Minute
 	}
 	n.gcArmed = true
-	n.env.After(period, func() {
+	n.gcCancel = n.env.After(period, func() {
 		n.gcArmed = false
 		n.sweep()
 		// Re-arm only while something remains collectible: seen/answered

@@ -49,6 +49,15 @@ type Sample struct {
 	// should compare warm epochs only. It is re-raised after a cover
 	// flip re-installs the subscription.
 	ColdStart bool
+	// Contributors counts the group members folded into this epoch's
+	// aggregate (members missing the query attribute included), summed
+	// over the cover's trees — the sample's coverage numerator. It
+	// mirrors Result.Contributors.
+	Contributors int64
+	// Expected sums the cover roots' population estimates for the
+	// epoch; Contributors/Expected (see Result.Completeness) is the
+	// sample's self-reported completeness under churn.
+	Expected float64
 	// Result is the epoch's aggregate (Stats carries only the group-by
 	// metadata; there is no per-epoch planning).
 	Result Result
@@ -68,9 +77,10 @@ type subKey struct {
 // replace (never merge with) their predecessor, so a child skewing
 // across its parent's epoch boundary is counted exactly once.
 type childReport struct {
-	state aggregate.State
-	epoch uint64
-	at    time.Duration
+	state   aggregate.State
+	contrib int64
+	epoch   uint64
+	at      time.Duration
 }
 
 // subState is one standing query's per-(node, group) state.
@@ -96,6 +106,26 @@ type subState struct {
 	// kept in sync with the group tree's query target set.
 	targets map[ids.ID]bool
 
+	// orphaned marks a subscription whose parent was purged as dead.
+	// While orphaned, reports are routed through the overlay to the
+	// tree root directly (the pull bypass: the subtree stays in the
+	// stream even though its uptree chain is severed), and the next
+	// install — from whichever node adopts us on the repaired tree —
+	// triggers an eager report so the retained subtree state re-enters
+	// the tree path without waiting for the next epoch tick.
+	orphaned bool
+	// pulled records that at least one orphaned report was routed to
+	// the root, so adoption knows to retract the direct copy.
+	pulled bool
+	// lastNonEmpty records that the previous report carried content, so
+	// a batch that goes empty (members re-parented away, group left)
+	// sends one final empty report — clearing the parent's buffered
+	// copy under replace-not-merge — before the relay goes silent.
+	lastNonEmpty bool
+	// gen is the newest renewal round seen (see InstallMsg.Gen);
+	// installs from older rounds are ignored.
+	gen uint64
+
 	lastRenew  time.Duration
 	lastDown   time.Duration
 	cancelTick func()
@@ -110,11 +140,14 @@ func (n *Node) handleSubscribe(sm SubscribeMsg) {
 	if err != nil {
 		return
 	}
+	key := subKey{sm.SID, sm.Group}
+	sub, ok := n.subs[key]
+	if ok && sm.Gen < sub.gen {
+		return
+	}
 	ps := n.getPred(g)
 	ps.level = 0
 	ps.hasParent = false
-	key := subKey{sm.SID, sm.Group}
-	sub, ok := n.subs[key]
 	if !ok {
 		sub = &subState{
 			sid:     sm.SID,
@@ -124,7 +157,28 @@ func (n *Node) handleSubscribe(sm SubscribeMsg) {
 		}
 		n.subs[key] = sub
 	}
+	if ok && !sub.root && !sub.orphaned {
+		// Promoted to root (the tree key moved onto us): retract our
+		// contribution from the old parent's path so the root sample
+		// and the old chain never carry it simultaneously.
+		n.retract(sub, sub.parent)
+	}
+	if ok && sub.pulled {
+		// An orphan pull routed at the tree key delivers to its owner —
+		// which is now us. Drop the buffered self-copy, or the root
+		// sample would carry this subtree twice (fresh child reports
+		// plus the pulled snapshot) until it staled out.
+		delete(sub.reports, n.self)
+		sub.pulled = false
+	}
 	sub.root = true
+	sub.orphaned = false
+	sub.gen = sm.Gen
+	if sm.MinEpoch > sub.epoch {
+		// Root failover: continue the stream's epoch numbering where
+		// the dead root left off.
+		sub.epoch = sm.MinEpoch
+	}
 	sub.replyTo = sm.ReplyTo
 	sub.eval = sm.Eval
 	sub.attrKey = sm.Attr
@@ -160,9 +214,25 @@ func (n *Node) handleInstall(from ids.ID, im InstallMsg) {
 	if err != nil {
 		return
 	}
+	key := subKey{im.SID, im.Group}
+	sub, ok := n.subs[key]
+	if ok && im.Gen < sub.gen {
+		// A stale renewal round: after a repair, the chains hanging off
+		// a dead interior node keep refreshing their old edges until
+		// their leases expire — they must not steal children back from
+		// the rebuilt tree, nor keep stale leases alive.
+		return
+	}
 	ps := n.getPred(g)
 	ps.touch(n.env.Now())
-	if ps.level < 0 || im.Level < ps.level {
+	if ok && im.Gen > sub.gen {
+		// A new renewal round re-assigns tree positions: after a root
+		// or interior death the rebuilt tree places this node at a
+		// different (usually deeper) level, and keeping the old minimum
+		// would leave it claiming a stale, oversized region — its old
+		// edges would fight the rebuilt tree for children forever.
+		ps.level = im.Level
+	} else if ps.level < 0 || im.Level < ps.level {
 		ps.level = im.Level
 	}
 	if (!im.Jump && (!ps.hasParent || ps.parent != im.ReplyTo)) ||
@@ -173,8 +243,6 @@ func (n *Node) handleInstall(from ids.ID, im InstallMsg) {
 		ps.hasParent = true
 		ps.lastSentValid = false
 	}
-	key := subKey{im.SID, im.Group}
-	sub, ok := n.subs[key]
 	if !ok {
 		sub = &subState{
 			sid:     im.SID,
@@ -184,6 +252,32 @@ func (n *Node) handleInstall(from ids.ID, im InstallMsg) {
 		}
 		n.subs[key] = sub
 	}
+	// A repaired adoption — the first install after this node's parent
+	// was purged as dead, or a round-advancing re-parenting (the tree
+	// was rebuilt around us after a root or interior death) — warrants
+	// an eager report below: the retained subtree state re-enters the
+	// stream immediately instead of at this node's next tick. Fresh
+	// installs and mere parent flips between live installers (tree
+	// parent vs SQP jump source) do not, so absent churn the install
+	// path emits nothing extra and coalescing equivalence is preserved
+	// bit for bit.
+	reparented := ok && !sub.root && im.Gen > sub.gen && sub.parent != im.ReplyTo
+	adopted := sub.orphaned || reparented
+	switch {
+	case sub.orphaned && sub.pulled:
+		// Adopted after pulling directly to the root: retract the
+		// direct copy so the tree path is the contribution's only
+		// carrier from here on.
+		n.retractRouted(sub)
+		sub.pulled = false
+	case reparented && !sub.orphaned:
+		// A round-advancing re-parenting between live carriers (the
+		// tree was rebuilt elsewhere): clear our subtree at the old
+		// parent so the two rounds' paths never both count us.
+		n.retract(sub, sub.parent)
+	}
+	sub.orphaned = false
+	sub.gen = im.Gen
 	// A previous root demoted by a moved tree key keeps reporting to
 	// the installer that reached it last.
 	sub.root = false
@@ -204,6 +298,9 @@ func (n *Node) handleInstall(from ids.ID, im InstallMsg) {
 		if ps.runPolicy(n.cfg.Mode, n.cfg.KUpdate, n.cfg.KNoUpdate) {
 			n.recomputeState(ps)
 		}
+	}
+	if adopted {
+		n.sendReport(sub, n.env.Now())
 	}
 	n.pushInstalls(sub, ps, n.refreshDue(sub, !ok))
 	if n.cfg.Mode != ModeGlobal {
@@ -243,9 +340,20 @@ func (n *Node) subTargets(ps *predState, level int) []SetEntry {
 }
 
 // pushInstalls reconciles a subscription's installed children with the
-// current query target set: newcomers are installed immediately,
-// departed targets are cancelled, and — when refresh is set — every
-// current target's lease is renewed.
+// current query target set: newcomers are installed immediately and —
+// when refresh is set (a renewal-cadence lease refresh) — every current
+// target's lease is renewed and departed targets are cancelled.
+//
+// Departed targets get an explicit CancelMsg ONLY on refresh waves,
+// never from the per-message repair reconciles (maybeResyncSubs, the
+// per-epoch tick): under churn, target sets flap while the overlay
+// heals, and canceling on every flap lets an install wave and a
+// cancel-cascade wave chase each other around the tree with the tree's
+// whole fan-out as the amplification factor — a self-sustaining message
+// explosion. A reconcile instead drops the departed edge silently —
+// deleting its buffered report, so any double-count ends with the edge
+// — and if the departed child reports again, handleEpochReport rejects
+// it with a single cancel, pacing teardown at epoch cadence.
 func (n *Node) pushInstalls(sub *subState, ps *predState, refresh bool) {
 	targets := n.subTargets(ps, sub.level)
 	im := InstallMsg{
@@ -256,6 +364,7 @@ func (n *Node) pushInstalls(sub *subState, ps *predState, refresh bool) {
 		Spec:    sub.spec,
 		GroupBy: sub.groupBy,
 		Period:  sub.period,
+		Gen:     sub.gen,
 		ReplyTo: n.self,
 	}
 	next := make(map[ids.ID]bool, len(targets))
@@ -268,10 +377,13 @@ func (n *Node) pushInstalls(sub *subState, ps *predState, refresh bool) {
 		}
 	}
 	for id := range sub.targets {
-		if !next[id] {
-			n.send(id, CancelMsg{SID: sub.sid, Group: sub.group.canon})
-			delete(sub.reports, id)
+		if next[id] {
+			continue
 		}
+		if refresh {
+			n.send(id, CancelMsg{SID: sub.sid, Group: sub.group.canon})
+		}
+		delete(sub.reports, id)
 	}
 	sub.targets = next
 }
@@ -324,45 +436,16 @@ func (n *Node) epochTick(sub *subState) {
 		return
 	}
 	sub.epoch++
-	state := aggregate.NewGrouped(sub.spec, n.cfg.MaxGroupKeys)
-	if n.subEval(sub) && n.claimStanding(sub) {
-		state.AddKeyed(n.self, n.groupKey(sub.groupBy), n.localValue(sub.attrKey))
-	}
-	stale := 3 * sub.period
-	for id, rep := range sub.reports {
-		if now-rep.at > stale {
-			delete(sub.reports, id)
-			continue
-		}
-		_ = state.Merge(rep.state)
-	}
-	if sub.root {
-		n.send(sub.replyTo, SampleMsg{
-			SID:   sub.sid,
-			Group: sub.group.canon,
-			Epoch: sub.epoch,
-			At:    now,
-			State: state,
-		})
-	} else if state.Nodes() > 0 || state.Truncated() {
-		// Interior hops skip empty batches: a pure relay with nothing
-		// to add this epoch costs nothing.
-		np, unknown := 0, 0.0
-		if ps, ok := n.preds[sub.group.canon]; ok {
-			np, unknown = ps.np, ps.unknown
-		}
-		n.send(sub.parent, EpochReportMsg{
-			SID:     sub.sid,
-			Group:   sub.group.canon,
-			Epoch:   sub.epoch,
-			State:   state,
-			Np:      np,
-			Unknown: unknown,
-		})
-	}
+	n.sendReport(sub, now)
 	n.armEpoch(sub)
 	// Epoch traffic is query traffic for the adaptation policy: record
 	// it so trees prune (and statuses flow) under pure standing load.
+	// Repair installs are NOT re-derived here: overlay-driven repair is
+	// maybeResyncSubs's job (it fires the moment routing state actually
+	// changes), and a per-epoch re-derivation turns any oscillation in
+	// the adaptive target set into a sustained install/flip war between
+	// competing parents — each flip leaving a double-counted report
+	// behind for the stale window.
 	if n.cfg.Mode != ModeGlobal {
 		if ps, ok := n.preds[sub.group.canon]; ok {
 			ps.recordQueryEvent(n.self)
@@ -373,6 +456,107 @@ func (n *Node) epochTick(sub *subState) {
 			}
 			ps.touch(now)
 		}
+	}
+}
+
+// sendReport assembles the subscription's current subtree batch — the
+// local contribution (if claimed) plus every fresh child report — and
+// pushes it one hop up-tree, or streams the root sample. epochTick
+// calls it once per epoch; handleInstall also calls it eagerly when a
+// node is adopted by a new parent, so a subtree repaired after a crash
+// re-enters the stream without waiting out a full epoch of pipeline
+// refill (its buffered child reports survive the re-parenting).
+func (n *Node) sendReport(sub *subState, now time.Duration) {
+	state := aggregate.NewGrouped(sub.spec, n.cfg.MaxGroupKeys)
+	var contrib int64
+	if n.subEval(sub) && n.claimStanding(sub) {
+		contrib++
+		state.AddKeyed(n.self, n.groupKey(sub.groupBy), n.localValue(sub.attrKey))
+	}
+	// A child's buffered report expires after two silent epochs: one
+	// missed delivery is tolerated (jitter, a lost message), but a
+	// child that went quiet — crashed, re-parented elsewhere, or handed
+	// off — must stop being counted promptly, or its copy double-counts
+	// against the subtree's new path.
+	stale := 2 * sub.period
+	for id, rep := range sub.reports {
+		if now-rep.at > stale {
+			delete(sub.reports, id)
+			continue
+		}
+		_ = state.Merge(rep.state)
+		contrib += rep.contrib
+	}
+	if sub.root {
+		expected := 0.0
+		if ps, ok := n.preds[sub.group.canon]; ok {
+			expected = float64(ps.np) + ps.unknown
+		}
+		n.send(sub.replyTo, SampleMsg{
+			SID:          sub.sid,
+			Group:        sub.group.canon,
+			Epoch:        sub.epoch,
+			At:           now,
+			State:        state,
+			Contributors: contrib,
+			Expected:     expected,
+		})
+		return
+	}
+	empty := state.Nodes() == 0 && !state.Truncated() && contrib == 0
+	if empty && !sub.lastNonEmpty {
+		// Interior hops skip empty batches: a pure relay with nothing
+		// to add costs nothing. But a batch that HAD content last time
+		// must announce the transition — silently going quiet would
+		// leave the parent replaying the stale copy (a subtree whose
+		// members re-parented elsewhere would be double-counted for a
+		// stale window per tree level).
+		return
+	}
+	sub.lastNonEmpty = !empty
+	np, unknown := 0, 0.0
+	if ps, ok := n.preds[sub.group.canon]; ok {
+		np, unknown = ps.np, ps.unknown
+	}
+	em := EpochReportMsg{
+		SID:          sub.sid,
+		Group:        sub.group.canon,
+		Epoch:        sub.epoch,
+		State:        state,
+		Contributors: contrib,
+		Np:           np,
+		Unknown:      unknown,
+	}
+	if sub.orphaned {
+		// The uptree chain is severed (parent purged as dead): pull
+		// directly to the tree root through the overlay so the subtree
+		// stays in the stream while the tree repairs around us.
+		sub.pulled = true
+		n.overlay.Route(sub.group.treeKey(), em)
+		return
+	}
+	n.send(sub.parent, em)
+}
+
+// retract clears this node's contribution at a previous carrier: an
+// empty report replaces — replace-not-merge — whatever partial the old
+// path still held, so a re-parented subtree is never counted along two
+// paths longer than one delivery.
+func (n *Node) retract(sub *subState, to ids.ID) {
+	n.send(to, n.emptyReport(sub))
+}
+
+// retractRouted clears the direct-to-root copy left by the orphan pull.
+func (n *Node) retractRouted(sub *subState) {
+	n.overlay.Route(sub.group.treeKey(), n.emptyReport(sub))
+}
+
+func (n *Node) emptyReport(sub *subState) EpochReportMsg {
+	return EpochReportMsg{
+		SID:   sub.sid,
+		Group: sub.group.canon,
+		Epoch: sub.epoch,
+		State: aggregate.NewGrouped(sub.spec, n.cfg.MaxGroupKeys),
 	}
 }
 
@@ -410,17 +594,31 @@ func (n *Node) claimStanding(sub *subState) bool {
 
 // handleEpochReport files a child's per-epoch batch; reports for
 // subscriptions this node does not hold are answered with CancelMsg so
-// orphans tear down without waiting out the TTL.
-func (n *Node) handleEpochReport(from ids.ID, em EpochReportMsg) {
+// orphans tear down without waiting out the TTL. Routed reports (the
+// orphan pull: a severed subtree streaming directly to the tree root)
+// are filed the same way but skip the child-cost bookkeeping — the
+// sender is not a tree child.
+func (n *Node) handleEpochReport(from ids.ID, em EpochReportMsg, routed bool) {
 	sub, ok := n.subs[subKey{em.SID, em.Group}]
 	if !ok {
 		n.send(from, CancelMsg{SID: em.SID, Group: em.Group})
 		return
 	}
-	sub.reports[from] = &childReport{state: em.State, epoch: em.Epoch, at: n.env.Now()}
+	if !routed && !sub.root && !sub.targets[from] {
+		// A report from a child this node no longer installs: the edge
+		// was dropped by a reconcile (tree adaptation or churn repair),
+		// and filing the report would double-count a subtree that now
+		// reaches the root along another path. Reject it — the child
+		// tears down or re-parents; if it was dropped by a transient
+		// flap, the next reconcile re-installs it. The root is exempt:
+		// it files anything (orphan pulls arrive there unannounced).
+		n.send(from, CancelMsg{SID: em.SID, Group: em.Group})
+		return
+	}
+	sub.reports[from] = &childReport{state: em.State, contrib: em.Contributors, epoch: em.Epoch, at: n.env.Now()}
 	// Refresh the child's lazily maintained subtree cost, mirroring
 	// handleResponse's piggyback path.
-	if n.cfg.Mode != ModeGlobal {
+	if !routed && n.cfg.Mode != ModeGlobal {
 		if ps, psOK := n.preds[em.Group]; psOK {
 			switch cs := ps.children[from]; {
 			case cs == nil:
@@ -446,7 +644,10 @@ func (n *Node) handleCancel(from ids.ID, cm CancelMsg, routed bool) {
 	if !ok {
 		return
 	}
-	if !routed {
+	if !routed && !sub.orphaned {
+		// Orphans accept a cancel from anyone: their owner is dead, and
+		// the likely sender is the tree root rejecting a pulled report
+		// for a subscription that no longer exists.
 		owner := sub.parent
 		if sub.root {
 			owner = sub.replyTo
@@ -495,13 +696,19 @@ type feSub struct {
 
 	// groups is the currently installed cover; latest/fresh hold each
 	// tree's newest SampleMsg and whether it arrived since the last
-	// emitted sample.
+	// emitted sample; rootOf tracks which node each tree's samples come
+	// from, so a root handover re-raises the warm-up marking.
 	groups map[string]groupSpec
 	latest map[string]SampleMsg
 	fresh  map[string]bool
+	rootOf map[string]ids.ID
 
 	epoch     uint64
 	warmAfter uint64
+	// gen is the renewal round counter: bumped on every
+	// (re-)plan-and-install, cascaded down-tree in SubscribeMsg and
+	// InstallMsg so stale chains lose their children after a repair.
+	gen uint64
 
 	probeQIDs   map[QueryID]string
 	costs       map[string]float64
@@ -545,6 +752,7 @@ func (fe *frontend) subscribe(req Request, cb func(Sample)) (QueryID, error) {
 		groups: make(map[string]groupSpec),
 		latest: make(map[string]SampleMsg),
 		fresh:  make(map[string]bool),
+		rootOf: make(map[string]ids.ID),
 		costs:  make(map[string]float64),
 	}
 	fe.subs[fs.sid] = fs
@@ -588,6 +796,7 @@ func (fe *frontend) unsubscribe(sid QueryID) {
 // than the renewal cadence) is abandoned first, so its timeout cannot
 // fire into the new round's state.
 func (fe *frontend) subPlanAndInstall(fs *feSub) {
+	fs.gen++
 	if fs.probeCancel != nil {
 		fs.probeCancel()
 		fs.probeCancel = nil
@@ -672,6 +881,7 @@ func (fe *frontend) setCover(fs *feSub, cover []groupSpec) {
 			n.overlay.Route(g.treeKey(), CancelMsg{SID: fs.sid, Group: canon})
 			delete(fs.latest, canon)
 			delete(fs.fresh, canon)
+			delete(fs.rootOf, canon)
 		}
 	}
 	fs.groups = next
@@ -681,14 +891,16 @@ func (fe *frontend) setCover(fs *feSub, cover []groupSpec) {
 			eval = ""
 		}
 		n.overlay.Route(g.treeKey(), SubscribeMsg{
-			SID:     fs.sid,
-			Group:   g.canon,
-			Eval:    eval,
-			Attr:    fs.req.Attr,
-			Spec:    fs.req.Spec,
-			GroupBy: fs.req.GroupBy,
-			Period:  fs.req.Period,
-			ReplyTo: n.self,
+			SID:      fs.sid,
+			Group:    g.canon,
+			Eval:     eval,
+			Attr:     fs.req.Attr,
+			Spec:     fs.req.Spec,
+			GroupBy:  fs.req.GroupBy,
+			Period:   fs.req.Period,
+			Gen:      fs.gen,
+			MinEpoch: fs.latest[g.canon].Epoch,
+			ReplyTo:  n.self,
 		})
 	}
 	if changed {
@@ -698,9 +910,11 @@ func (fe *frontend) setCover(fs *feSub, cover []groupSpec) {
 
 // warmupEpochs estimates how many epochs the contribution pipeline
 // needs to fill: one per tree level (contributions climb one hop per
-// epoch) plus slack for the install dissemination itself.
+// epoch), slack for the install dissemination itself, and one more for
+// the stale window in which a formation-time handoff (a member
+// re-parented while the tree adapted) can still be double-carried.
 func (fe *frontend) warmupEpochs() uint64 {
-	depth := uint64(2)
+	depth := uint64(3)
 	for est := fe.n.overlay.EstimateSize(); est > 1; est /= ids.Radix {
 		depth++
 	}
@@ -752,6 +966,26 @@ func (fe *frontend) handleSample(from ids.ID, sm SampleMsg) {
 		n.send(from, CancelMsg{SID: sm.SID, Group: sm.Group})
 		return
 	}
+	prevSm, hadSm := fs.latest[sm.Group]
+	if hadSm && sm.Epoch <= prevSm.Epoch {
+		// A stale or duplicate root epoch: after the tree key moves
+		// (a failover or a closer joiner), the demoted root keeps
+		// streaming until its lease expires — the takeover root
+		// fast-forwarded past it (SubscribeMsg.MinEpoch), so dropping
+		// anything at or behind the newest epoch keeps the delivered
+		// stream monotone.
+		return
+	}
+	prevRoot, hadRoot := fs.rootOf[sm.Group]
+	if (hadRoot && prevRoot != from) || (hadSm && sm.Epoch > prevSm.Epoch+2) {
+		// Root handover — or a gap in the root's tick stream (the root
+		// crashed and recovered, or the tree went dark long enough to
+		// skip epochs): the contribution pipeline refills from scratch
+		// either way, so re-raise the ColdStart marking rather than
+		// presenting the refill samples as steady-state readings.
+		fs.warmAfter = fs.epoch + fe.warmupEpochs()
+	}
+	fs.rootOf[sm.Group] = from
 	fs.latest[sm.Group] = sm
 	fs.fresh[sm.Group] = true
 	if len(fs.fresh) < len(fs.groups) {
@@ -763,12 +997,16 @@ func (fe *frontend) handleSample(from ids.ID, sm SampleMsg) {
 	agg := aggregate.NewGrouped(fs.req.Spec, n.cfg.MaxGroupKeys)
 	var lag time.Duration
 	var rootEpoch uint64
+	var contrib int64
+	var expected float64
 	for canon := range fs.groups {
 		s, ok := fs.latest[canon]
 		if !ok || s.State == nil {
 			continue
 		}
 		_ = agg.Merge(s.State)
+		contrib += s.Contributors
+		expected += s.Expected
 		if l := now - s.At; l > lag {
 			lag = l
 		}
@@ -776,7 +1014,7 @@ func (fe *frontend) handleSample(from ids.ID, sm SampleMsg) {
 			rootEpoch = s.Epoch
 		}
 	}
-	res := Result{Agg: agg.Result(), Contributors: agg.Nodes()}
+	res := Result{Agg: agg.Result(), Contributors: contrib, Expected: expected}
 	res.Stats.GroupBy = fs.req.GroupBy
 	if fs.req.GroupBy != "" {
 		res.Groups = agg.Results()
@@ -784,11 +1022,13 @@ func (fe *frontend) handleSample(from ids.ID, sm SampleMsg) {
 		res.Stats.GroupKeys = agg.KeyCount()
 	}
 	fs.cb(Sample{
-		Epoch:     fs.epoch,
-		RootEpoch: rootEpoch,
-		At:        now,
-		Lag:       lag,
-		ColdStart: fs.epoch <= fs.warmAfter,
-		Result:    res,
+		Epoch:        fs.epoch,
+		RootEpoch:    rootEpoch,
+		At:           now,
+		Lag:          lag,
+		ColdStart:    fs.epoch <= fs.warmAfter,
+		Contributors: contrib,
+		Expected:     expected,
+		Result:       res,
 	})
 }

@@ -118,6 +118,106 @@ func TestHeartbeatDetectsFailure(t *testing.T) {
 	}
 }
 
+// TestObituaryPurgesClusterWide enables the liveness path and crashes a
+// node; the gossiped obituary must purge it from EVERY survivor's
+// routing state — including routing tables of nodes far outside the
+// victim's leaf set, which heartbeats alone never examine.
+func TestObituaryPurgesClusterWide(t *testing.T) {
+	net := simnet.New(simnet.Options{Seed: 13, Latency: simnet.Fixed(time.Millisecond)})
+	nodes, members := buildProtocolCluster(t, net, 32, 250*time.Millisecond)
+	victimIdx := 9
+	victim := members[victimIdx]
+	holders := 0
+	for i, n := range nodes {
+		if i != victimIdx && (n.Leaf().Contains(victim) || tableContains(n, victim)) {
+			holders++
+		}
+	}
+	if holders == 0 {
+		t.Fatal("nobody holds the victim")
+	}
+	net.SetDown(victim, true)
+	net.RunFor(5 * time.Second)
+	for i, n := range nodes {
+		if i == victimIdx {
+			continue
+		}
+		if n.Leaf().Contains(victim) {
+			t.Errorf("node %d still has the victim in its leaf set", i)
+		}
+		if tableContains(n, victim) {
+			t.Errorf("node %d still has the victim in its routing table", i)
+		}
+	}
+}
+
+func tableContains(n *Node, id ids.ID) bool {
+	for _, e := range n.Table().Entries() {
+		if e == id {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRejoinAfterDeathCertificate crashes a node, lets the cluster
+// certify it dead, then revives it via Rejoin: the first-hand
+// re-announcements must clear the certificates so the node reappears in
+// routing state well before the certificate TTL.
+func TestRejoinAfterDeathCertificate(t *testing.T) {
+	net := simnet.New(simnet.Options{Seed: 17, Latency: simnet.Fixed(time.Millisecond)})
+	nodes, members := buildProtocolCluster(t, net, 24, 250*time.Millisecond)
+	victimIdx := 5
+	victim := members[victimIdx]
+	net.SetDown(victim, true)
+	net.RunFor(5 * time.Second) // detection + obituary flood
+	net.SetDown(victim, false)
+	nodes[victimIdx].Rejoin(members[0])
+	net.RunFor(5 * time.Second)
+	if !nodes[victimIdx].Joined() {
+		t.Fatal("victim did not rejoin")
+	}
+	known := 0
+	for i, n := range nodes {
+		if i == victimIdx {
+			continue
+		}
+		if n.Leaf().Contains(victim) || tableContains(n, victim) {
+			known++
+		}
+	}
+	if known == 0 {
+		t.Fatal("rejoined node is invisible: death certificates were never cleared")
+	}
+	t.Logf("rejoined node known by %d/%d survivors", known, len(nodes)-1)
+}
+
+// TestJoinRetriesThroughLostHandshake drops the first join exchange (the
+// bootstrap is crashed at join time) and verifies the retry loop
+// eventually completes the handshake via the recovered bootstrap.
+func TestJoinRetriesThroughLostHandshake(t *testing.T) {
+	net := simnet.New(simnet.Options{Seed: 19, Latency: simnet.Fixed(time.Millisecond)})
+	nodes, members := buildProtocolCluster(t, net, 12, 0)
+	_ = nodes
+	joiner := ids.FromKey("late-joiner")
+	env := net.AddNode(joiner)
+	jn := New(env, Config{})
+	env.BindHandler(&protoNode{jn})
+	// Crash the bootstrap just before the join, so the first
+	// JoinRequest lands in a corpse.
+	net.SetDown(members[0], true)
+	jn.Join(members[0])
+	net.RunFor(time.Second)
+	if jn.Joined() {
+		t.Fatal("join should not have completed against a dead bootstrap")
+	}
+	net.SetDown(members[0], false)
+	net.RunFor(10 * time.Second) // retry cadence is 2s
+	if !jn.Joined() {
+		t.Fatal("join retry never completed after the bootstrap recovered")
+	}
+}
+
 // TestBroadcastAfterProtocolJoin: the broadcast coverage property must
 // hold on protocol-built (not oracle-built) routing state too.
 func TestBroadcastAfterProtocolJoin(t *testing.T) {

@@ -49,9 +49,17 @@ type Node struct {
 	Deliver DeliverFunc
 	// OnNeighborDead is invoked when a neighbor is declared failed.
 	OnNeighborDead func(dead ids.ID)
+	// OnNodeRemoved is invoked whenever a node is purged from routing
+	// state — by local heartbeat detection or by a gossiped obituary.
+	// The Moara layer hooks it to drop per-group child state and
+	// standing-subscription reports for the dead node, so a stale
+	// partial aggregate can never be merged past the purge.
+	OnNodeRemoved func(dead ids.ID)
 
 	hbMisses    map[ids.ID]int
+	hbRound     int
 	stopHB      func()
+	stopJoin    func()
 	joined      bool
 	joinPending []pendingRoute
 	gen         int
@@ -108,6 +116,10 @@ func (n *Node) Close() {
 		n.stopHB()
 		n.stopHB = nil
 	}
+	if n.stopJoin != nil {
+		n.stopJoin()
+		n.stopJoin = nil
+	}
 }
 
 // ---------------------------------------------------------------------
@@ -119,10 +131,18 @@ type RouteMsg struct {
 	Origin  ids.ID
 	Payload any
 	Hops    int
+	// Maint marks overlay-maintenance payloads (slot repair), keeping
+	// their hops out of the query-layer route accounting.
+	Maint bool
 }
 
 // MsgKind labels the message for accounting.
-func (RouteMsg) MsgKind() string { return "overlay.route" }
+func (m RouteMsg) MsgKind() string {
+	if m.Maint {
+		return "overlay.maint"
+	}
+	return "overlay.route"
+}
 
 // JoinRequest is routed toward the joiner's ID, accumulating routing
 // rows from every hop.
@@ -165,6 +185,34 @@ type Heartbeat struct{ Ack bool }
 
 // MsgKind labels the message for accounting.
 func (Heartbeat) MsgKind() string { return "overlay.hb" }
+
+// Obituary gossips a death certificate: the node that detects a failure
+// (heartbeat misses on a leaf-set neighbor) floods it to its known
+// peers; each receiver purges the dead node from routing state and
+// forwards the obituary exactly once, so the purge that §7 delegates to
+// FreePastry propagates cluster-wide through the liveness path instead
+// of requiring global knowledge.
+type Obituary struct {
+	Dead ids.ID
+}
+
+// MsgKind labels the message for accounting.
+func (Obituary) MsgKind() string { return "overlay.obit" }
+
+// RepairProbe seeks a replacement for a purged routing-table slot: it is
+// routed toward the dead node's identifier, so it lands on the ring
+// region the corpse used to own — exactly the neighborhood (and, for
+// broadcast trees, the orphaned subtree) the prober lost reachability
+// to. The region's new owner introduces itself and its neighbors back
+// to the prober, refilling the slot without waiting for background
+// gossip.
+type RepairProbe struct {
+	Origin ids.ID
+}
+
+// MsgKind labels the message for accounting (overlay maintenance, like
+// the obituary flood — not query-layer traffic).
+func (RepairProbe) MsgKind() string { return "overlay.repair" }
 
 // ---------------------------------------------------------------------
 // Routing
@@ -216,6 +264,10 @@ func (n *Node) Route(key ids.ID, payload any) {
 func (n *Node) routeMsg(m RouteMsg) {
 	next, isSelf := n.NextHop(m.Key)
 	if isSelf {
+		if rp, ok := m.Payload.(RepairProbe); ok {
+			n.handleRepairProbe(rp)
+			return
+		}
 		if n.Deliver != nil {
 			n.Deliver(m.Key, m.Payload, m.Origin)
 		}
@@ -241,6 +293,16 @@ type BroadcastTarget struct {
 // >= level. With complete tables the targets partition the node's
 // region of the identifier space, so a broadcast from a tree root
 // reaches every live node exactly once.
+//
+// Under churn, tables are only eventually complete, and a node can be
+// known solely by its ring neighbors while the routing slot that should
+// delegate its sub-region sits empty — silently excluding it from every
+// dissemination. The leaf-set backstop closes exactly that hole: a leaf
+// member inside this node's region whose slot is empty is covered
+// directly. With complete tables the slot is never empty (the member
+// itself is a candidate), so the backstop adds no edges and the exact
+// partition — and every message-cost property built on it — is
+// unchanged.
 func (n *Node) BroadcastTargets(level int) []BroadcastTarget {
 	var out []BroadcastTarget
 	for r := level; r < ids.Digits; r++ {
@@ -251,6 +313,25 @@ func (n *Node) BroadcastTargets(level int) []BroadcastTarget {
 			}
 			out = append(out, BroadcastTarget{ID: row[c], Level: r + 1})
 		}
+	}
+	var backstopped map[[2]int]bool
+	for _, m := range n.leaf.Members() {
+		l := ids.CommonPrefixLen(n.self, m)
+		if l < level || !n.rt.Get(l, m.Digit(l)).IsZero() {
+			continue
+		}
+		// One backstop target per empty slot: a second leaf member of
+		// the same region lies inside the first one's dissemination
+		// region and would be double-covered.
+		slot := [2]int{l, m.Digit(l)}
+		if backstopped[slot] {
+			continue
+		}
+		if backstopped == nil {
+			backstopped = make(map[[2]int]bool)
+		}
+		backstopped[slot] = true
+		out = append(out, BroadcastTarget{ID: m, Level: l + 1})
 	}
 	return out
 }
@@ -274,14 +355,41 @@ func (n *Node) Install(id ids.ID) {
 	}
 }
 
-// RemoveNode purges a failed node from routing state.
+// RemoveNode purges a failed node from routing state and notifies the
+// application layer. The notification fires even when the node held no
+// routing entry: the application may track peers (tree children, SQP
+// jump targets) the overlay does not.
 func (n *Node) RemoveNode(dead ids.ID) {
 	a := n.rt.Remove(n.self, dead)
 	b := n.leaf.Remove(dead)
 	delete(n.hbMisses, dead)
+	delete(n.announced, dead)
 	if a || b {
 		n.gen++
 	}
+	if a && n.joined {
+		// The purged slot covered a region of the identifier space this
+		// node can no longer reach — for a broadcast tree, an orphaned
+		// subtree. Probe the dead node's ring region for a live
+		// replacement instead of waiting for background gossip.
+		n.routeMsg(RouteMsg{Key: dead, Origin: n.self, Payload: RepairProbe{Origin: n.self}, Maint: true})
+	}
+	if n.OnNodeRemoved != nil {
+		n.OnNodeRemoved(dead)
+	}
+}
+
+// handleRepairProbe answers a slot-repair probe as the new owner of the
+// dead node's region: introduce ourselves first-hand (refilling the
+// prober's slot when our prefix matches) and share our neighborhood —
+// the corpse's old leaf set, i.e. its orphans — so the prober can pick
+// whichever candidate fits the slot.
+func (n *Node) handleRepairProbe(rp RepairProbe) {
+	if rp.Origin == n.self {
+		return
+	}
+	n.env.Send(rp.Origin, Announce{ID: n.self})
+	n.env.Send(rp.Origin, AnnounceAck{Known: n.knownSample()})
 }
 
 // Gen is a generation counter bumped on every routing-state change;
@@ -323,14 +431,69 @@ func (n *Node) EstimateSize() float64 {
 // ---------------------------------------------------------------------
 // Join protocol
 
-// Join bootstraps via an existing overlay member.
+// joinRetryEvery is how often an unanswered join handshake is retried.
+const joinRetryEvery = 2 * time.Second
+
+// Join bootstraps via an existing overlay member, retrying until the
+// handshake completes: a JoinRequest routed through a not-yet-purged
+// corpse is dropped silently, and without the retry the node would sit
+// outside the overlay forever.
 func (n *Node) Join(bootstrap ids.ID) {
 	n.env.Send(bootstrap, JoinRequest{Joiner: n.self})
+	n.armJoinRetry(bootstrap)
+}
+
+func (n *Node) armJoinRetry(bootstrap ids.ID) {
+	if n.stopJoin != nil {
+		n.stopJoin()
+	}
+	n.stopJoin = n.env.After(joinRetryEvery, func() {
+		n.stopJoin = nil
+		if n.joined {
+			return
+		}
+		// Retry via any peer learned from a partial handshake, falling
+		// back to the original bootstrap.
+		target := bootstrap
+		if ks := n.knownSample(); len(ks) > 0 {
+			target = ks[n.env.Rand().Intn(len(ks))]
+		}
+		n.env.Send(target, JoinRequest{Joiner: n.self})
+		n.armJoinRetry(bootstrap)
+	})
+}
+
+// Rejoin re-enters the overlay after a crash-recovery: liveness state is
+// reset (the heartbeat loop died with the crash), the join handshake
+// re-runs via bootstrap, and the announced set is cleared so the
+// epidemic discovery re-introduces this node first-hand to every peer it
+// encounters — which is what clears the death certificates the cluster
+// installed when this node was declared failed.
+func (n *Node) Rejoin(bootstrap ids.ID) {
+	if n.stopHB != nil {
+		n.stopHB()
+		n.stopHB = nil
+	}
+	clear(n.hbMisses)
+	n.announced = make(map[ids.ID]bool)
+	n.joined = false
+	n.Join(bootstrap)
+}
+
+// noteAlive clears a death certificate on first-hand evidence of life: a
+// message received directly from the certified node. Second-hand gossip
+// (Announce/AnnounceAck listings) cannot clear certificates — only the
+// node itself can refute its own obituary.
+func (n *Node) noteAlive(from ids.ID) {
+	delete(n.dead, from)
 }
 
 // Handle processes overlay messages. It reports whether the message was
 // an overlay message (false means the caller should interpret it).
 func (n *Node) Handle(from ids.ID, m any) bool {
+	if from != n.self {
+		n.noteAlive(from)
+	}
 	switch msg := m.(type) {
 	case RouteMsg:
 		n.routeMsg(msg)
@@ -346,23 +509,56 @@ func (n *Node) Handle(from ids.ID, m any) bool {
 			if id == n.self {
 				continue
 			}
+			if at, isDead := n.dead[id]; isDead && n.env.Now()-at < deadTTL {
+				// Gossip says a certified-dead node is alive. Second-hand
+				// word cannot clear the certificate, but a probe gives
+				// the node the chance to refute it first-hand: a live
+				// peer acks, noteAlive clears the certificate, and the
+				// next gossip mention installs it. Without this, a
+				// recovered node stays invisible to every certificate
+				// holder its rejoin announcements missed until the
+				// certificate expires.
+				n.env.Send(id, Heartbeat{})
+				continue
+			}
 			n.Install(id)
 			// Epidemic discovery: introduce ourselves to every newly
 			// learned peer exactly once, so late joiners become
 			// visible cluster-wide and routing holes close.
 			if n.joined && !n.announced[id] {
-				if _, isDead := n.dead[id]; !isDead {
-					n.announced[id] = true
-					n.env.Send(id, Announce{ID: n.self})
-				}
+				n.announced[id] = true
+				n.env.Send(id, Announce{ID: n.self})
 			}
 		}
 	case Heartbeat:
 		n.handleHeartbeat(from, msg)
+	case Obituary:
+		n.handleObituary(msg)
 	default:
 		return false
 	}
 	return true
+}
+
+// handleObituary processes a gossiped death certificate: purge, certify,
+// and forward exactly once (receivers that already hold a live
+// certificate stop the flood). A node hearing of its own death refutes
+// it by re-announcing itself instead.
+func (n *Node) handleObituary(m Obituary) {
+	if m.Dead == n.self {
+		for _, id := range n.knownSample() {
+			n.env.Send(id, Announce{ID: n.self})
+		}
+		return
+	}
+	if at, ok := n.dead[m.Dead]; ok && n.env.Now()-at < deadTTL {
+		return
+	}
+	n.dead[m.Dead] = n.env.Now()
+	n.RemoveNode(m.Dead)
+	for _, id := range n.knownSample() {
+		n.env.Send(id, m)
+	}
 }
 
 func (n *Node) handleJoinRequest(m JoinRequest) {
@@ -450,6 +646,39 @@ func (n *Node) startHeartbeats() {
 			}
 			n.env.Send(id, Heartbeat{})
 		}
+		// Routing-table liveness: leaf members are probed every tick,
+		// but a corpse can also sit in a routing slot — a node that was
+		// down when the obituary circulated (its own crash-recovery, a
+		// racing rejoin) keeps delegating a whole region to it, silently
+		// breaking every dissemination through that slot. Sweep the
+		// table entries on a slower cadence (every 4th tick, once per
+		// entry, leaf members excluded — they are probed above) so such
+		// corpses are re-detected and purged within a bounded number of
+		// rounds without double-counting misses.
+		n.hbRound++
+		if n.hbRound%4 == 0 {
+			for _, id := range n.rt.Entries() {
+				if n.leaf.Contains(id) {
+					continue
+				}
+				n.hbMisses[id]++
+				if n.hbMisses[id] > n.cfg.HeartbeatMiss {
+					n.declareDead(id)
+					continue
+				}
+				n.env.Send(id, Heartbeat{})
+			}
+		}
+		// Anti-entropy: share membership knowledge with one random
+		// known peer per tick. Churn opens broadcast-partition holes —
+		// a node can be known by its ring neighbors yet invisible to
+		// the representative whose routing slot should cover it; the
+		// epidemic exchange diffuses membership until every region's
+		// representative learns its occupants again.
+		if ks := n.knownSample(); len(ks) > 0 {
+			peer := ks[n.env.Rand().Intn(len(ks))]
+			n.env.Send(peer, AnnounceAck{Known: append(ks, n.self)})
+		}
 		n.stopHB = n.env.After(n.cfg.HeartbeatEvery, tick)
 	}
 	n.stopHB = n.env.After(n.cfg.HeartbeatEvery, tick)
@@ -469,6 +698,13 @@ func (n *Node) declareDead(deadID ids.ID) {
 	n.dead[deadID] = n.env.Now()
 	if n.OnNeighborDead != nil {
 		n.OnNeighborDead(deadID)
+	}
+	// Gossip the death certificate so the purge propagates beyond this
+	// node's leaf set: routing-table entries are not heartbeat-monitored,
+	// so without the obituary flood an interior node's death would leave
+	// stale entries cluster-wide.
+	for _, id := range n.knownSample() {
+		n.env.Send(id, Obituary{Dead: deadID})
 	}
 	// Leaf-set repair: ask the remaining members for their neighbors
 	// to refill the set.

@@ -93,6 +93,9 @@ func (o *Oracle) Fill(n *Node) {
 		lo, hi = o.narrow(lo, hi, self, r, selfDigit)
 	}
 	n.joined = true
+	// Oracle bootstrap skips the join handshake, so start the liveness
+	// loop here; a no-op unless HeartbeatEvery is configured.
+	n.startHeartbeats()
 }
 
 // narrow restricts [lo,hi) to IDs whose digit at position r equals c,

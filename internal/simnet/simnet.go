@@ -231,6 +231,12 @@ func (n *Network) NodeIDs() []ids.ID {
 // Rand returns the network-level random source (for workload drivers).
 func (n *Network) Rand() *rand.Rand { return n.rng }
 
+// PendingEvents reports the scheduled-event backlog (deliveries plus
+// armed timers). Harnesses use it to watch for runaway amplification —
+// a protocol bug that doubles messages per hop shows up here long
+// before it exhausts memory.
+func (n *Network) PendingEvents() int { return n.events.Len() }
+
 // RTT estimates the round-trip time between two nodes by sampling the
 // latency model, excluding processing delay. Models with stable pairwise
 // bases (WAN) return stable values.

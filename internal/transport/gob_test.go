@@ -37,26 +37,30 @@ func TestGobRoundTripAllWireTypes(t *testing.T) {
 	samples := []any{
 		pastry.RouteMsg{Key: nodeA, Origin: nodeB, Hops: 3,
 			Payload: core.ProbeMsg{QID: qid, Group: "g", Attr: "cpu", ReplyTo: nodeB}},
+		pastry.RouteMsg{Key: nodeA, Origin: nodeB, Hops: 1, Maint: true,
+			Payload: pastry.RepairProbe{Origin: nodeB}},
 		pastry.JoinRequest{Joiner: nodeA, Rows: []ids.ID{nodeB}, Hops: 1},
 		pastry.JoinReply{Rows: []ids.ID{nodeA}, Leaf: []ids.ID{nodeB}},
 		pastry.Announce{ID: nodeA},
 		pastry.AnnounceAck{Known: []ids.ID{nodeA, nodeB}},
 		pastry.Heartbeat{Ack: true},
+		pastry.Obituary{Dead: nodeB},
 		core.SubQueryMsg{QID: qid, Group: "slice = cs101", Eval: "a = 1", Attr: "mem_util",
 			Spec: spec, GroupBy: "slice", ReplyTo: nodeB},
 		core.QueryMsg{QID: qid, Seq: 7, Group: "g", Eval: "e", Attr: "mem_util",
 			Spec: spec, GroupBy: "slice", Level: 2, ReplyTo: nodeA, Jump: true},
-		core.ResponseMsg{QID: qid, Group: "g", State: grouped, Np: 3, Unknown: 1.5},
+		core.ResponseMsg{QID: qid, Group: "g", State: grouped, Contributors: 7, Np: 3, Unknown: 1.5},
 		core.StatusMsg{Group: "g", Prune: true, Np: 4, Unknown: 0.5, LastSeq: 9,
 			UpdateSet: []core.SetEntry{{ID: nodeA, Level: 1}}},
 		core.ProbeMsg{QID: qid, Group: "g", Attr: "cpu", ReplyTo: nodeA},
 		core.ProbeRespMsg{QID: qid, Group: "g", Cost: 12.5},
 		core.SubscribeMsg{SID: qid, Group: "slice = cs101", Eval: "a = 1", Attr: "mem_util",
-			Spec: spec, GroupBy: "slice", Period: 2 * time.Second, ReplyTo: nodeB},
+			Spec: spec, GroupBy: "slice", Period: 2 * time.Second, Gen: 4, MinEpoch: 6, ReplyTo: nodeB},
 		core.InstallMsg{SID: qid, Group: "g", Eval: "e", Attr: "mem_util", Spec: spec,
-			GroupBy: "slice", Period: 500 * time.Millisecond, Level: 2, Jump: true, ReplyTo: nodeA},
-		core.EpochReportMsg{SID: qid, Group: "g", Epoch: 12, State: grouped, Np: 5, Unknown: 1.5},
-		core.SampleMsg{SID: qid, Group: "g", Epoch: 13, At: 42 * time.Second, State: grouped},
+			GroupBy: "slice", Period: 500 * time.Millisecond, Gen: 5, Level: 2, Jump: true, ReplyTo: nodeA},
+		core.EpochReportMsg{SID: qid, Group: "g", Epoch: 12, State: grouped, Contributors: 9, Np: 5, Unknown: 1.5},
+		core.SampleMsg{SID: qid, Group: "g", Epoch: 13, At: 42 * time.Second, State: grouped,
+			Contributors: 11, Expected: 12.5},
 		core.SampleMsg{SID: qid, Group: "g", Epoch: 14, State: sum},
 		core.CancelMsg{SID: qid, Group: "g"},
 		// A coalesced wire batch: several standing queries' epoch
@@ -91,9 +95,14 @@ func TestGobRoundTripAllWireTypes(t *testing.T) {
 	var mark func(m any)
 	mark = func(m any) {
 		covered[reflect.TypeOf(m)] = true
-		if b, ok := m.(core.BatchMsg); ok {
-			for _, item := range b.Items {
+		switch v := m.(type) {
+		case core.BatchMsg:
+			for _, item := range v.Items {
 				mark(item)
+			}
+		case pastry.RouteMsg:
+			if v.Payload != nil {
+				mark(v.Payload)
 			}
 		}
 	}

@@ -39,6 +39,8 @@ var wireTypes = []any{
 	pastry.Announce{},
 	pastry.AnnounceAck{},
 	pastry.Heartbeat{},
+	pastry.Obituary{},
+	pastry.RepairProbe{},
 	core.SubQueryMsg{},
 	core.QueryMsg{},
 	core.ResponseMsg{},

@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// This file generates membership churn: the node-level kill/join/recover
+// schedules driving the churn-resilience experiments. Unlike the
+// group-membership churn of Figs. 12(b)/13(a) — nodes flipping an
+// attribute while staying up — membership churn crashes whole nodes and
+// adds new ones while queries are live, the regime the paper delegates
+// to FreePastry (§7) and never evaluates.
+
+// ChurnKind classifies one membership event.
+type ChurnKind uint8
+
+const (
+	// ChurnKill crashes a random live node.
+	ChurnKill ChurnKind = iota
+	// ChurnJoin adds a fresh node to the running cluster.
+	ChurnJoin
+	// ChurnRecover restarts a random crashed node.
+	ChurnRecover
+)
+
+// String names the event kind.
+func (k ChurnKind) String() string {
+	switch k {
+	case ChurnKill:
+		return "kill"
+	case ChurnJoin:
+		return "join"
+	default:
+		return "recover"
+	}
+}
+
+// ChurnEvent is one scheduled membership event.
+type ChurnEvent struct {
+	// At is the event time from the schedule's start.
+	At time.Duration
+	// Kind selects kill, join, or recover.
+	Kind ChurnKind
+}
+
+// Churn generates a Poisson membership-event schedule over a window:
+// node lifetimes are exponential with the given half-life, so kills
+// arrive at rate n·ln2/halfLife, and arrivals (fresh joins, or
+// recoveries of earlier casualties with probability recoverFrac) arrive
+// at the same rate, keeping the population stationary in expectation.
+// Events are returned in time order.
+func Churn(rng *rand.Rand, n int, halfLife, window time.Duration, recoverFrac float64) []ChurnEvent {
+	if n <= 0 || halfLife <= 0 || window <= 0 {
+		return nil
+	}
+	rate := float64(n) * math.Ln2 / float64(halfLife) // events per time unit
+	var out []ChurnEvent
+	poisson := func(kind func() ChurnKind) {
+		for at := exponential(rng, rate); at < float64(window); at += exponential(rng, rate) {
+			out = append(out, ChurnEvent{At: time.Duration(at), Kind: kind()})
+		}
+	}
+	poisson(func() ChurnKind { return ChurnKill })
+	poisson(func() ChurnKind {
+		if rng.Float64() < recoverFrac {
+			return ChurnRecover
+		}
+		return ChurnJoin
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// exponential samples an inter-arrival gap for a Poisson process of the
+// given rate (events per time unit).
+func exponential(rng *rand.Rand, rate float64) float64 {
+	return rng.ExpFloat64() / rate
+}
+
+// ChurnHalfLife converts a per-epoch churn fraction ("1% of nodes leave
+// per epoch") into the node half-life Churn expects: a fraction f per
+// epoch means a per-node leave rate of f/epoch, i.e. a half-life of
+// ln2·epoch/f.
+func ChurnHalfLife(fracPerEpoch float64, epoch time.Duration) time.Duration {
+	if fracPerEpoch <= 0 {
+		return 0
+	}
+	return time.Duration(math.Ln2 * float64(epoch) / fracPerEpoch)
+}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/moara/moara/internal/core"
 )
@@ -193,5 +194,72 @@ func TestMultiQuery(t *testing.T) {
 		if _, err := core.ParseRequest(s.Text); err != nil {
 			t.Fatalf("spec %q does not parse: %v", s.Text, err)
 		}
+	}
+}
+
+// TestChurnSchedule checks the Poisson membership schedule: events are
+// time-ordered inside the window, the kill rate matches the requested
+// half-life within sampling tolerance, arrivals match departures in
+// expectation, and the recover fraction splits arrivals as requested.
+func TestChurnSchedule(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const (
+		n      = 300
+		window = 500 * time.Second
+		frac   = 0.01
+		epoch  = 200 * time.Millisecond
+	)
+	half := ChurnHalfLife(frac, epoch)
+	events := Churn(rng, n, half, window, 0.5)
+	if len(events) == 0 {
+		t.Fatal("empty schedule")
+	}
+	var kills, joins, recovers int
+	for i, ev := range events {
+		if ev.At < 0 || ev.At >= window {
+			t.Fatalf("event %d outside window: %v", i, ev.At)
+		}
+		if i > 0 && ev.At < events[i-1].At {
+			t.Fatalf("events out of order at %d", i)
+		}
+		switch ev.Kind {
+		case ChurnKill:
+			kills++
+		case ChurnJoin:
+			joins++
+		case ChurnRecover:
+			recovers++
+		}
+	}
+	// Expected kills: frac*n per epoch over window/epoch epochs.
+	wantKills := frac * float64(n) * float64(window) / float64(epoch)
+	if float64(kills) < 0.8*wantKills || float64(kills) > 1.2*wantKills {
+		t.Errorf("kills = %d, want ~%.0f", kills, wantKills)
+	}
+	arrivals := joins + recovers
+	if float64(arrivals) < 0.8*wantKills || float64(arrivals) > 1.2*wantKills {
+		t.Errorf("arrivals = %d, want ~%.0f (stationary population)", arrivals, wantKills)
+	}
+	if joins == 0 || recovers == 0 {
+		t.Errorf("arrival split degenerate: joins=%d recovers=%d", joins, recovers)
+	}
+	// Degenerate parameters yield an empty schedule, not a panic.
+	if got := Churn(rng, 0, half, window, 0.5); got != nil {
+		t.Errorf("n=0 should yield nil, got %d events", len(got))
+	}
+	if got := Churn(rng, n, 0, window, 0.5); got != nil {
+		t.Errorf("halfLife=0 should yield nil, got %d events", len(got))
+	}
+}
+
+// TestChurnHalfLife pins the fraction-to-half-life conversion: a
+// fraction f per epoch means a per-node rate of f/epoch, i.e. a
+// half-life of ln2*epoch/f.
+func TestChurnHalfLife(t *testing.T) {
+	if got := ChurnHalfLife(0.01, 200*time.Millisecond); got < 13*time.Second || got > 14*time.Second {
+		t.Fatalf("1%% per 200ms epoch: half-life = %v, want ~13.86s", got)
+	}
+	if got := ChurnHalfLife(0, time.Second); got != 0 {
+		t.Fatalf("zero fraction: got %v", got)
 	}
 }

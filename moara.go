@@ -237,6 +237,41 @@ func (s *SimCluster) Unsubscribe(node int, id SubID) {
 // RunFor advances virtual time (status propagation, tree adaptation).
 func (s *SimCluster) RunFor(d time.Duration) { s.c.RunFor(d) }
 
+// AddNode joins one new node into the running cluster through the live
+// join protocol and returns its index. Seed its attributes with SetAttr
+// and RunFor a moment; standing queries pick the newcomer up within one
+// epoch of its announcements reaching a subscribed parent. Membership
+// churn repair relies on the liveness path — boot the cluster with
+// WithHeartbeats so crashes are detected and purged.
+func (s *SimCluster) AddNode() int { return s.c.AddNode() }
+
+// Kill crashes node i (it goes silent; nothing else is touched). With
+// heartbeats enabled the survivors detect the silence, gossip an
+// obituary, repair the routing slots, and re-install standing queries
+// around the corpse; every answer's Contributors/Expected reports the
+// resulting coverage.
+func (s *SimCluster) Kill(i int) { s.c.Kill(i) }
+
+// Recover restarts a crashed node with its identity and attribute store
+// intact: it rejoins the overlay via a live member and re-arms the
+// background loops that died with the crash.
+func (s *SimCluster) Recover(i int) { s.c.Recover(i) }
+
+// Down reports whether node i is currently crashed.
+func (s *SimCluster) Down(i int) bool { return s.c.Down(i) }
+
+// LiveCount reports the number of currently live nodes.
+func (s *SimCluster) LiveCount() int { return s.c.LiveCount() }
+
+// WithHeartbeats enables leaf-set liveness probing (disabled by default,
+// mirroring the paper's exclusion of DHT maintenance): neighbors probe
+// every interval and declare a node dead after three misses, which
+// triggers the obituary purge and churn repair. Required for Kill to
+// heal the overlay.
+func WithHeartbeats(every time.Duration) Option {
+	return func(o *options) { o.cl.Overlay.HeartbeatEvery = every }
+}
+
 // Messages reports total Moara-layer logical messages since the last
 // reset (coalesced batches count as the messages they carry).
 func (s *SimCluster) Messages() int64 { return s.c.MoaraMessages() }

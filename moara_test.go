@@ -3,6 +3,8 @@ package moara
 import (
 	"testing"
 	"time"
+
+	"github.com/moara/moara/internal/core"
 )
 
 func TestSimClusterQuickstart(t *testing.T) {
@@ -153,5 +155,68 @@ func TestTreesIntrospection(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("no node holds tree state after a query")
+	}
+}
+
+// TestChurnPublicAPI exercises the membership-churn surface end to end:
+// heartbeat-enabled cluster, a standing query with completeness
+// accounting, Kill with liveness-path repair, AddNode, and Recover.
+func TestChurnPublicAPI(t *testing.T) {
+	c := NewSimCluster(64, WithSeed(31), WithHeartbeats(100*time.Millisecond),
+		WithNodeConfig(core.Config{
+			// Epoch-scale lease renewals so even a tree-root death is
+			// repaired within a few epochs (the renewal re-routes the
+			// subscription to the takeover root).
+			SubTTL:           2 * time.Second,
+			SubRenewInterval: 500 * time.Millisecond,
+		}))
+	for i := 0; i < c.Size(); i++ {
+		c.SetAttr(i, "load", Int(int64(i%50)))
+	}
+	var latest Sample
+	warm := false
+	id, err := c.Subscribe(0, "count(*) every 200ms", func(s Sample) {
+		if !s.ColdStart {
+			warm = true
+		}
+		latest = s
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Unsubscribe(0, id)
+	for i := 0; !warm && i < 64; i++ {
+		c.RunFor(200 * time.Millisecond)
+	}
+	if !warm {
+		t.Fatal("subscription never warmed")
+	}
+	if latest.Contributors != 64 || latest.Completeness() < 0.95 {
+		t.Fatalf("warm sample: contributors=%d completeness=%.2f", latest.Contributors, latest.Completeness())
+	}
+
+	// Kill three nodes; the obituary purge plus subscription repair must
+	// settle the stream on exactly the survivors.
+	for _, i := range []int{5, 9, 23} {
+		c.Kill(i)
+	}
+	if c.LiveCount() != 61 || !c.Down(5) {
+		t.Fatalf("live=%d down5=%v", c.LiveCount(), c.Down(5))
+	}
+	c.RunFor(3 * time.Second)
+	if latest.Contributors != 61 {
+		t.Fatalf("post-kill contributors = %d, want 61", latest.Contributors)
+	}
+
+	// A joining node enters the stream; a recovered one returns.
+	j := c.AddNode()
+	c.SetAttr(j, "load", Int(7))
+	c.Recover(9)
+	c.RunFor(4 * time.Second)
+	if latest.Contributors != 63 {
+		t.Fatalf("post-join/recover contributors = %d, want 63", latest.Contributors)
+	}
+	if v, _ := latest.Result.Agg.Value.AsInt(); v != 63 {
+		t.Fatalf("count = %d, want 63", v)
 	}
 }

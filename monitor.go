@@ -20,6 +20,13 @@ type Sample struct {
 	// benchmarks should compare warm epochs only: filter on !ColdStart
 	// instead of silently dropping the asymmetry.
 	ColdStart bool
+	// Contributors counts the group members folded into this epoch's
+	// aggregate; with Expected (the system's own population estimate)
+	// it reports the sample's coverage under churn — see the README's
+	// completeness semantics for what it does and does not promise.
+	Contributors int64
+	// Expected is the cover roots' population estimate for the epoch.
+	Expected float64
 	// Result is the epoch's aggregate.
 	Result Result
 	// Err is non-nil when the round failed (subscription setup errors;
@@ -27,8 +34,16 @@ type Sample struct {
 	Err error
 }
 
+// Completeness is Contributors/Expected clamped to [0,1] (1 when
+// Expected is unknown): the sample's self-reported coverage.
+func (s Sample) Completeness() float64 { return s.Result.Completeness() }
+
 func fromCoreSample(cs core.Sample) Sample {
-	return Sample{At: cs.At, Epoch: cs.Epoch, ColdStart: cs.ColdStart, Result: cs.Result}
+	return Sample{
+		At: cs.At, Epoch: cs.Epoch, ColdStart: cs.ColdStart,
+		Contributors: cs.Contributors, Expected: cs.Expected,
+		Result: cs.Result,
+	}
 }
 
 // Monitor implements the paper's continuous-monitoring pattern (§1) on
