@@ -175,6 +175,34 @@ func BenchmarkStanding(b *testing.B) {
 	})
 }
 
+// BenchmarkStanding2000 is the scale-class standing workload (the
+// issue's headline target): poll-vs-standing at N=2000 with 16 Zipf
+// slices. Compare runs with benchstat (wall-clock and -benchmem
+// allocs/op are the regression-gated series).
+func BenchmarkStanding2000(b *testing.B) {
+	runBench(b, func() *experiments.Table {
+		return experiments.RunStanding(experiments.StandingOptions{
+			N: 2000, Slices: 16, Epochs: 20,
+		})
+	})
+}
+
+// BenchmarkChurn2000 is the scale-class churn workload: standing and
+// one-shot completeness under 1%/epoch Poisson churn at N=2000 with the
+// full liveness path (heartbeats, obituaries, repair probes) running.
+func BenchmarkChurn2000(b *testing.B) {
+	if testing.Short() {
+		// ~3.5 minutes (the pre-optimization code could not finish it at
+		// all): evidence-grade, not smoke-grade.
+		b.Skip("skipping N=2000 churn benchmark in -short mode")
+	}
+	runBench(b, func() *experiments.Table {
+		return experiments.RunChurn(experiments.ChurnOptions{
+			N: 2000, PerEpoch: []float64{0.01}, Epochs: 8,
+		})
+	})
+}
+
 // BenchmarkMultiQuery regenerates the concurrent-workload comparison at
 // the issue's target scale: wire vs logical messages per epoch for 1-8
 // concurrent standing queries (plus one-shot bursts and the mixed

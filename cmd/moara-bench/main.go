@@ -1,19 +1,33 @@
 // Command moara-bench regenerates every table and figure of the paper's
-// evaluation (§7). Each subcommand runs one experiment at paper-scale
-// parameters (or a faster scaled profile) and prints the series the
-// figure plots; -tsv additionally writes machine-readable output.
+// evaluation (§7), plus the repo's own scaling studies. Each subcommand
+// runs one experiment at paper-scale parameters (or a faster scaled
+// profile) and prints the series the figure plots; -tsv additionally
+// writes machine-readable per-figure tables and -json writes a
+// BENCH_<profile>.json with wall-clock/allocation measurements suitable
+// for regression gating (see -compare).
 //
 // Usage:
 //
-//	moara-bench [-profile paper|quick] [-tsv DIR] fig9 fig10 ...
-//	moara-bench all
+//	moara-bench [-profile paper|quick|scale] [-tsv DIR] [-json] \
+//	            [-compare BASELINE.json] [-regress 0.20] \
+//	            [-cpuprofile FILE] [-memprofile FILE] [-trace FILE] \
+//	            fig9 fig10 ... | all
+//
+// Profiles: "paper" reproduces the paper's parameters, "quick" keeps
+// each figure under ~1s for CI smoke, "scale" runs the big-N scaling
+// sweep (N up to 10000) — the headline capability this perf work
+// unlocked.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"time"
 
 	"github.com/moara/moara/internal/experiments"
@@ -34,21 +48,21 @@ var figures = []struct {
 	}},
 	{"fig9", "bandwidth vs query:churn ratio", func(p string) *experiments.Table {
 		o := experiments.Fig9Options{}
-		if p == "quick" {
+		if p != "paper" {
 			o = experiments.Fig9Options{N: 1000, Events: 100, Burst: 200}
 		}
 		return experiments.RunFig9(o)
 	}},
 	{"fig10", "(kUPDATE,kNO-UPDATE) sensitivity", func(p string) *experiments.Table {
 		o := experiments.Fig10Options{}
-		if p == "quick" {
+		if p != "paper" {
 			o = experiments.Fig10Options{N: 200, Events: 100, Burst: 40}
 		}
 		return experiments.RunFig10(o)
 	}},
 	{"fig11a", "SQP query cost vs system size", func(p string) *experiments.Table {
 		o := experiments.Fig11aOptions{}
-		if p == "quick" {
+		if p != "paper" {
 			o = experiments.Fig11aOptions{
 				Sizes:   []int{16, 64, 256, 1024, 4096},
 				Queries: 200,
@@ -58,100 +72,141 @@ var figures = []struct {
 	}},
 	{"fig11b", "SQP query/update cost vs subset size", func(p string) *experiments.Table {
 		o := experiments.Fig11bOptions{}
-		if p == "quick" {
+		if p != "paper" {
 			o = experiments.Fig11bOptions{N: 2048, GroupSizes: []int{8, 32, 128, 512, 2048}, Queries: 200}
 		}
 		return experiments.RunFig11b(o)
 	}},
 	{"fig12a", "static groups: Moara vs SDIMS global tree", func(p string) *experiments.Table {
 		o := experiments.Fig12aOptions{}
-		if p == "quick" {
+		if p != "paper" {
 			o = experiments.Fig12aOptions{N: 500, Queries: 40}
 		}
 		return experiments.RunFig12a(o)
 	}},
 	{"fig12b", "dynamic group latency", func(p string) *experiments.Table {
 		o := experiments.Fig12bOptions{}
-		if p == "quick" {
+		if p != "paper" {
 			o = experiments.Fig12bOptions{N: 500, Queries: 40}
 		}
 		return experiments.RunFig12b(o)
 	}},
 	{"fig13a", "latency timeline under churn", func(p string) *experiments.Table {
 		o := experiments.Fig13aOptions{}
-		if p == "quick" {
+		if p != "paper" {
 			o = experiments.Fig13aOptions{Seconds: 60}
 		}
 		return experiments.RunFig13a(o)
 	}},
 	{"fig13b", "composite query latency", func(p string) *experiments.Table {
 		o := experiments.Fig13bOptions{}
-		if p == "quick" {
+		if p != "paper" {
 			o = experiments.Fig13bOptions{Queries: 60}
 		}
 		return experiments.RunFig13b(o)
 	}},
 	{"fig14", "PlanetLab latency CDF", func(p string) *experiments.Table {
 		o := experiments.Fig14Options{}
-		if p == "quick" {
+		if p != "paper" {
 			o = experiments.Fig14Options{Queries: 100}
 		}
 		return experiments.RunFig14(o)
 	}},
 	{"fig15", "Moara vs centralized aggregator", func(p string) *experiments.Table {
 		o := experiments.Fig15Options{}
-		if p == "quick" {
+		if p != "paper" {
 			o = experiments.Fig15Options{Queries: 40}
 		}
 		return experiments.RunFig15(o)
 	}},
 	{"fig16", "bottleneck link analysis", func(p string) *experiments.Table {
 		o := experiments.Fig16Options{}
-		if p == "quick" {
+		if p != "paper" {
 			o = experiments.Fig16Options{Queries: 60}
 		}
 		return experiments.RunFig16(o)
 	}},
 	{"groupby", "grouped queries: keyed in-tree merge vs one query per group", func(p string) *experiments.Table {
 		o := experiments.GroupByOptions{}
-		if p == "quick" {
+		if p != "paper" {
 			o = experiments.GroupByOptions{N: 300, Slices: 16, Queries: 10}
 		}
 		return experiments.RunGroupBy(o)
 	}},
 	{"standing", "standing queries: installed epoch re-aggregation vs one-shot polling", func(p string) *experiments.Table {
 		o := experiments.StandingOptions{}
-		if p == "quick" {
+		if p != "paper" {
 			o = experiments.StandingOptions{N: 300, Slices: 16, Epochs: 20}
 		}
 		return experiments.RunStanding(o)
 	}},
 	{"multiquery", "concurrent queries: per-destination wire coalescing vs Q", func(p string) *experiments.Table {
 		o := experiments.MultiQueryOptions{}
-		if p == "quick" {
+		if p != "paper" {
 			o = experiments.MultiQueryOptions{N: 300, Slices: 16, Epochs: 24}
 		}
 		return experiments.RunMultiQuery(o)
 	}},
 	{"churn", "membership churn: completeness, lag, and repair under kill/join/recover", func(p string) *experiments.Table {
 		o := experiments.ChurnOptions{}
-		if p == "quick" {
+		if p != "paper" {
 			o = experiments.ChurnOptions{N: 300, Epochs: 30}
 		}
 		return experiments.RunChurn(o)
 	}},
 	{"ablation", "composite cover selection ablation (§6.3)", func(p string) *experiments.Table {
 		o := experiments.AblationOptions{}
-		if p == "quick" {
+		if p != "paper" {
 			o = experiments.AblationOptions{N: 200, Large: 150, Queries: 40}
 		}
 		return experiments.RunAblationCoverSelection(o)
 	}},
+	{"scale", "hot-path scaling sweep: the standard workload at N up to 10000", func(p string) *experiments.Table {
+		o := experiments.ScaleOptions{}
+		switch p {
+		case "quick":
+			// The CI scale-smoke contract: N=5000 completes under a
+			// wall-clock timeout.
+			o.Sizes = []int{1000, 5000}
+		case "scale":
+			o.Sizes = []int{300, 2000, 5000, 10000}
+		default: // paper
+			o.Sizes = []int{300, 1000, 2000, 5000}
+		}
+		return experiments.RunScale(o)
+	}},
+}
+
+// benchResult is one experiment's machine-readable record.
+type benchResult struct {
+	Name    string     `json:"name"`
+	WallMs  float64    `json:"wall_ms"`
+	Allocs  uint64     `json:"allocs"`
+	AllocMB float64    `json:"alloc_mb"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Note    string     `json:"note"`
+}
+
+// benchFile is the BENCH_<profile>.json schema.
+type benchFile struct {
+	Profile     string        `json:"profile"`
+	GoVersion   string        `json:"go_version"`
+	GOOS        string        `json:"goos"`
+	GOARCH      string        `json:"goarch"`
+	Experiments []benchResult `json:"experiments"`
 }
 
 func main() {
-	profile := flag.String("profile", "paper", "parameter profile: paper or quick")
+	profile := flag.String("profile", "paper", "parameter profile: paper, quick, or scale")
 	tsvDir := flag.String("tsv", "", "directory to write per-figure TSV files")
+	jsonOut := flag.Bool("json", false, "write BENCH_<profile>.json with wall-clock/alloc measurements")
+	jsonPath := flag.String("json-out", "", "override the -json output path")
+	compare := flag.String("compare", "", "baseline BENCH_*.json; exit non-zero on wall-clock regression")
+	regress := flag.Float64("regress", 0.20, "relative wall-clock regression tolerance for -compare")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments")
+	memprofile := flag.String("memprofile", "", "write a pprof allocation profile after the run")
+	traceFile := flag.String("trace", "", "write a runtime execution trace of the run")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -160,7 +215,9 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	if *profile != "paper" && *profile != "quick" {
+	switch *profile {
+	case "paper", "quick", "scale":
+	default:
 		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profile)
 		os.Exit(2)
 	}
@@ -188,13 +245,58 @@ func main() {
 		}
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		defer trace.Stop()
+	}
+
+	out := benchFile{
+		Profile:   *profile,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
 	for _, f := range figures {
 		if !selected[f.name] {
 			continue
 		}
+		// The scale profile only re-parameterizes the scale sweep; any
+		// other figure runs (and is labeled) at quick parameters rather
+		// than stamping quick-grade data with a distinct profile name.
+		effective := *profile
+		if *profile == "scale" && f.name != "scale" {
+			effective = "quick"
+		}
+		var msBefore runtime.MemStats
+		runtime.ReadMemStats(&msBefore)
 		start := time.Now()
-		tab := f.run(*profile)
-		tab.Note += fmt.Sprintf(" [profile=%s, wall=%s]", *profile, time.Since(start).Round(time.Millisecond))
+		tab := f.run(effective)
+		wall := time.Since(start)
+		var msAfter runtime.MemStats
+		runtime.ReadMemStats(&msAfter)
+		tab.Note += fmt.Sprintf(" [profile=%s, wall=%s]", effective, wall.Round(time.Millisecond))
 		tab.Fprint(os.Stdout)
 		if *tsvDir != "" {
 			if err := writeTSV(*tsvDir, f.name, tab); err != nil {
@@ -202,7 +304,97 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		out.Experiments = append(out.Experiments, benchResult{
+			Name:    f.name,
+			WallMs:  float64(wall.Microseconds()) / 1000,
+			Allocs:  msAfter.Mallocs - msBefore.Mallocs,
+			AllocMB: float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / (1 << 20),
+			Columns: tab.Columns,
+			Rows:    tab.Rows,
+			Note:    tab.Note,
+		})
 	}
+
+	if *memprofile != "" {
+		runtime.GC()
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+		}
+		f.Close()
+	}
+
+	if *jsonOut || *jsonPath != "" {
+		path := *jsonPath
+		if path == "" {
+			path = fmt.Sprintf("BENCH_%s.json", *profile)
+		}
+		raw, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+
+	if *compare != "" {
+		if failed := compareBaseline(*compare, out, *regress); failed {
+			os.Exit(1)
+		}
+	}
+}
+
+// compareBaseline gates wall-clock against a committed baseline: any
+// experiment present in both runs that got more than the tolerance
+// slower fails the run. Allocation counts are reported but not gated
+// (they are near-deterministic; wall-clock is the noisy one, so it
+// carries the explicit tolerance).
+func compareBaseline(path string, current benchFile, tolerance float64) (failed bool) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compare: %v\n", err)
+		return true
+	}
+	var base benchFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "compare: %v\n", err)
+		return true
+	}
+	baseline := make(map[string]benchResult, len(base.Experiments))
+	for _, e := range base.Experiments {
+		baseline[e.Name] = e
+	}
+	seen := make(map[string]bool, len(current.Experiments))
+	for _, e := range current.Experiments {
+		seen[e.Name] = true
+		b, ok := baseline[e.Name]
+		if !ok || b.WallMs <= 0 {
+			fmt.Fprintf(os.Stderr, "compare %-12s NO BASELINE — not gated (refresh %s)\n", e.Name, path)
+			continue
+		}
+		ratio := e.WallMs / b.WallMs
+		status := "ok"
+		if ratio > 1+tolerance {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Fprintf(os.Stderr, "compare %-12s wall %8.1fms -> %8.1fms (%.2fx)  allocs %d -> %d  [%s]\n",
+			e.Name, b.WallMs, e.WallMs, ratio, b.Allocs, e.Allocs, status)
+	}
+	for _, e := range base.Experiments {
+		if !seen[e.Name] {
+			fmt.Fprintf(os.Stderr, "compare %-12s IN BASELINE ONLY — not run this time\n", e.Name)
+		}
+	}
+	return failed
 }
 
 func writeTSV(dir, name string, tab *experiments.Table) error {
@@ -218,8 +410,22 @@ func writeTSV(dir, name string, tab *experiments.Table) error {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: moara-bench [-profile paper|quick] [-tsv DIR] <figure>...|all\n\nfigures:\n")
+	fmt.Fprintf(os.Stderr, `usage: moara-bench [flags] <figure>...|all
+
+flags:
+  -profile paper|quick|scale   parameter profile (scale = big-N sweep to 10000)
+  -tsv DIR                     write per-figure TSV files
+  -json                        write BENCH_<profile>.json (wall/allocs/tables)
+  -json-out PATH               override the -json path
+  -compare BASELINE.json       fail on >-regress wall-clock regression
+  -regress FRAC                regression tolerance for -compare (default 0.20)
+  -cpuprofile FILE             write pprof CPU profile (feed to go tool pprof)
+  -memprofile FILE             write pprof allocation profile
+  -trace FILE                  write runtime execution trace
+
+figures:
+`)
 	for _, f := range figures {
-		fmt.Fprintf(os.Stderr, "  %-8s %s\n", f.name, f.desc)
+		fmt.Fprintf(os.Stderr, "  %-10s %s\n", f.name, f.desc)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"github.com/moara/moara/internal/ids"
 	"github.com/moara/moara/internal/value"
@@ -168,14 +169,97 @@ func (r Result) String() string {
 }
 
 // New creates the empty state for the spec by looking up the
-// function's registered constructor.
+// function's registered constructor. Recycled states (see Recycle) are
+// reused when available: the per-node per-epoch report path allocates
+// one state tree per message, and at N=10k the pool is the difference
+// between steady-state and GC-bound.
 func (s Spec) New() State {
+	if st := poolGet(s); st != nil {
+		return st
+	}
 	c, ok := registry[s.Kind]
 	if !ok {
 		panic(fmt.Sprintf("aggregate: New on invalid spec %v", s))
 	}
 	return c.newState(s)
 }
+
+// statePools recycles leaf states per Kind. States are fully reset on
+// put; TopK's K is re-stamped on get (the pool is keyed by kind only).
+var statePools [16]sync.Pool
+
+func poolGet(s Spec) State {
+	k := int(s.Kind)
+	if k <= 0 || k >= len(statePools) {
+		return nil
+	}
+	st, _ := statePools[k].Get().(State)
+	if st == nil {
+		return nil
+	}
+	if tk, ok := st.(*TopKState); ok {
+		tk.K = s.K
+		if tk.K <= 0 {
+			tk.K = 1
+		}
+	}
+	return st
+}
+
+// Recycle returns a state tree to the allocation pools. Callers must
+// guarantee that nothing references the state, its sub-states, or
+// their entry slices anymore — the canonical safe point is right after
+// Merge folded a received partial into an accumulator (every Merge
+// implementation copies values; none retains references into its
+// argument). Recycling anything else is a correctness bug, not a
+// performance tweak.
+func Recycle(st State) {
+	switch s := st.(type) {
+	case nil:
+		return
+	case *GroupedState:
+		for k, sub := range s.Groups {
+			Recycle(sub)
+			delete(s.Groups, k)
+		}
+		if s.Other != nil {
+			Recycle(s.Other)
+		}
+		groups := s.Groups
+		*s = GroupedState{Groups: groups}
+		groupedPool.Put(s)
+	case *SumState:
+		*s = SumState{}
+		statePools[int(KindSum)].Put(st)
+	case *CountState:
+		*s = CountState{}
+		statePools[int(KindCount)].Put(st)
+	case *ExtremeState:
+		max := s.Max
+		*s = ExtremeState{Max: max}
+		if max {
+			statePools[int(KindMax)].Put(st)
+		} else {
+			statePools[int(KindMin)].Put(st)
+		}
+	case *AvgState:
+		*s = AvgState{}
+		statePools[int(KindAvg)].Put(st)
+	case *StdState:
+		*s = StdState{}
+		statePools[int(KindStd)].Put(st)
+	case *TopKState:
+		entries := s.Entries[:0]
+		*s = TopKState{Entries: entries}
+		statePools[int(KindTopK)].Put(st)
+	case *EnumState:
+		entries := s.Entries[:0]
+		*s = EnumState{Entries: entries}
+		statePools[int(KindEnum)].Put(st)
+	}
+}
+
+var groupedPool sync.Pool
 
 // ---------------------------------------------------------------------
 
@@ -373,14 +457,26 @@ type TopKState struct {
 	N       int64
 }
 
-// Add folds one node's value in.
+// Add folds one node's value in. The entry list is kept ordered at all
+// times, so one contribution costs a binary-search insert (with an O(1)
+// doesn't-make-the-cut rejection when the list is full) instead of the
+// pre-optimization full re-sort per contribution.
 func (s *TopKState) Add(node ids.ID, v value.Value) {
 	if !v.IsValid() {
 		return
 	}
 	s.N++
-	s.Entries = append(s.Entries, Entry{Node: node, Value: v})
-	s.compact()
+	e := Entry{Node: node, Value: v}
+	if len(s.Entries) >= s.K && len(s.Entries) > 0 && !entryBefore(e, s.Entries[len(s.Entries)-1]) {
+		return
+	}
+	i := sort.Search(len(s.Entries), func(i int) bool { return entryBefore(e, s.Entries[i]) })
+	s.Entries = append(s.Entries, Entry{})
+	copy(s.Entries[i+1:], s.Entries[i:])
+	s.Entries[i] = e
+	if len(s.Entries) > s.K {
+		s.Entries = s.Entries[:s.K]
+	}
 }
 
 // Merge folds another TopKState in.
@@ -395,13 +491,19 @@ func (s *TopKState) Merge(other State) error {
 	return nil
 }
 
+// entryBefore is the top-k order: value descending, node IDs breaking
+// ties (and incomparable values) so merges are deterministic.
+func entryBefore(a, b Entry) bool {
+	c, err := value.Compare(a.Value, b.Value)
+	if err == nil && c != 0 {
+		return c > 0
+	}
+	return ids.Less(a.Node, b.Node)
+}
+
 func (s *TopKState) compact() {
 	sort.Slice(s.Entries, func(i, j int) bool {
-		c, err := value.Compare(s.Entries[i].Value, s.Entries[j].Value)
-		if err == nil && c != 0 {
-			return c > 0
-		}
-		return ids.Less(s.Entries[i].Node, s.Entries[j].Node)
+		return entryBefore(s.Entries[i], s.Entries[j])
 	})
 	if len(s.Entries) > s.K {
 		s.Entries = s.Entries[:s.K]

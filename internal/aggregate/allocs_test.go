@@ -1,0 +1,75 @@
+package aggregate
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/moara/moara/internal/ids"
+	"github.com/moara/moara/internal/value"
+)
+
+// TestMergeAllocBudget locks the allocation cost of the epoch-report
+// hot path: merging one warm GroupedState into another — both already
+// holding the full key set — must not allocate at all for scalar-kind
+// sub-states. The per-epoch in-tree re-aggregation performs exactly
+// this merge once per child per epoch per node, so any state or map
+// allocation here multiplies by the whole deployment.
+func TestMergeAllocBudget(t *testing.T) {
+	warm := func(keys int) *GroupedState {
+		g := NewGrouped(Spec{Kind: KindAvg}, 1024)
+		for k := 0; k < keys; k++ {
+			g.AddKeyed(ids.FromUint64(uint64(k)), fmt.Sprintf("key-%02d", k), value.Float(float64(k)))
+		}
+		return g
+	}
+	const keys = 16
+	dst, src := warm(keys), warm(keys)
+	avg := testing.AllocsPerRun(100, func() {
+		if err := dst.Merge(src); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 0 {
+		t.Errorf("warm GroupedState.Merge allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+// TestAddAllocBudget locks the steady-state contribution path: adding
+// to an existing key of a warm accumulator is allocation-free for
+// numeric kinds.
+func TestAddAllocBudget(t *testing.T) {
+	g := NewGrouped(Spec{Kind: KindSum}, 0)
+	node := ids.FromUint64(7)
+	g.AddKeyed(node, "k", value.Int(1))
+	avg := testing.AllocsPerRun(100, func() {
+		g.AddKeyed(node, "k", value.Int(1))
+	})
+	if avg > 0 {
+		t.Errorf("warm AddKeyed allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+// TestRecycleReuse proves the state pool actually round-trips: a
+// recycled tree satisfies the next construction without touching the
+// allocator for the shell, the key map, or the sub-states.
+func TestRecycleReuse(t *testing.T) {
+	spec := Spec{Kind: KindAvg}
+	g := NewGrouped(spec, 64)
+	g.AddKeyed(ids.FromUint64(1), "a", value.Float(1))
+	g.AddKeyed(ids.FromUint64(2), "b", value.Float(2))
+	Recycle(g)
+	avg := testing.AllocsPerRun(20, func() {
+		h := NewGroupedSized(spec, 64, 2)
+		h.AddKeyed(ids.FromUint64(1), "a", value.Float(1))
+		h.AddKeyed(ids.FromUint64(2), "b", value.Float(2))
+		if h.KeyCount() != 2 {
+			t.Fatal("bad key count")
+		}
+		Recycle(h)
+	})
+	// One warm cycle may still allocate map internals on first growth;
+	// steady state must stay near zero.
+	if avg > 1 {
+		t.Errorf("recycled construction allocates %.1f objects/op, want <= 1", avg)
+	}
+}

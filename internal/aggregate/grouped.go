@@ -53,9 +53,27 @@ type GroupedState struct {
 }
 
 // NewGrouped creates an empty keyed accumulator for spec with the given
-// key cap (0 = unbounded).
+// key cap (0 = unbounded). Recycled shells (their cleared key maps
+// included) are reused when available.
 func NewGrouped(spec Spec, cap int) *GroupedState {
-	return &GroupedState{Spec: spec, Cap: cap, Groups: make(map[string]State)}
+	return NewGroupedSized(spec, cap, 0)
+}
+
+// NewGroupedSized is NewGrouped with a key-count hint: per-epoch report
+// paths preallocate from the previous epoch's key count so the hot loop
+// never grows the map incrementally.
+func NewGroupedSized(spec Spec, cap, hint int) *GroupedState {
+	if g, ok := groupedPool.Get().(*GroupedState); ok && g != nil {
+		g.Spec, g.Cap = spec, cap
+		if g.Groups == nil {
+			g.Groups = make(map[string]State, max(hint, 0))
+		}
+		return g
+	}
+	if hint < 0 {
+		hint = 0
+	}
+	return &GroupedState{Spec: spec, Cap: cap, Groups: make(map[string]State, hint)}
 }
 
 // AddKeyed folds one node's value into the sub-aggregate for key.
@@ -140,6 +158,12 @@ func (g *GroupedState) other() State {
 
 // Merge implements State: fold another GroupedState of the same Spec in,
 // key by key.
+//
+// When the combined key count provably cannot reach the cap, no
+// insertion can evict or spill, every per-key merge is independent, and
+// the fold iterates the map directly. Only a merge that could actually
+// hit the cap pays for the sorted key walk that keeps the deterministic
+// smallest-keys-kept spill policy order-independent.
 func (g *GroupedState) Merge(other State) error {
 	o, ok := other.(*GroupedState)
 	if !ok {
@@ -148,10 +172,19 @@ func (g *GroupedState) Merge(other State) error {
 	if o.Spec != g.Spec {
 		return fmt.Errorf("aggregate: merge GroupedState(%v) into GroupedState(%v)", o.Spec, g.Spec)
 	}
-	for _, k := range o.Keys() {
-		st, _ := g.slot(k)
-		if err := st.Merge(o.Groups[k]); err != nil {
-			return err
+	if g.Cap == 0 || len(g.Groups)+len(o.Groups) <= g.Cap {
+		for k, ost := range o.Groups {
+			st, _ := g.slot(k)
+			if err := st.Merge(ost); err != nil {
+				return err
+			}
+		}
+	} else {
+		for _, k := range o.Keys() {
+			st, _ := g.slot(k)
+			if err := st.Merge(o.Groups[k]); err != nil {
+				return err
+			}
 		}
 	}
 	if o.Other != nil {

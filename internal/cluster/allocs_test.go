@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"github.com/moara/moara/internal/core"
+	"github.com/moara/moara/internal/value"
+)
+
+// TestStandingEpochAllocBudget locks the steady-state allocation cost
+// of the standing-query epoch tick. After the pipeline is warm, one
+// epoch at one node costs: the epoch-tick timer re-arm, the local
+// re-evaluation, one pooled report state, one boxed EpochReportMsg,
+// and the outbox flush — all recycled or constant. The budget is
+// deliberately loose (2x the measured steady state) so it catches a
+// lost pool or a new per-epoch allocation loop, not jitter.
+func TestStandingEpochAllocBudget(t *testing.T) {
+	const (
+		n      = 64
+		period = 200 * time.Millisecond
+		// allocsPerNodeEpoch is the gate: measured steady state is
+		// ~5-7 objects per node per epoch (message boxing, value
+		// boxing, batch slices); 16 leaves room for platform variation
+		// without letting a per-epoch allocation loop hide.
+		allocsPerNodeEpoch = 16.0
+	)
+	c := New(Options{N: n, Seed: 5, Node: core.Config{SubTTL: time.Hour}})
+	for i, nd := range c.Nodes {
+		nd.Store().Set("mem", value.Int(int64(i)))
+	}
+	req, err := core.ParseRequest("avg(mem)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Period = period
+	warm := false
+	if _, err := c.Subscribe(0, req, func(s core.Sample) {
+		if !s.ColdStart {
+			warm = true
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; !warm && i < 64; i++ {
+		c.RunFor(period)
+	}
+	if !warm {
+		t.Fatal("standing subscription never warmed")
+	}
+	// Let the pools fill (first post-warm epochs still allocate the
+	// recycled inventory).
+	c.RunFor(10 * period)
+
+	avg := testing.AllocsPerRun(10, func() {
+		c.RunFor(period)
+	})
+	perNode := avg / n
+	t.Logf("steady-state standing epoch: %.0f allocs/epoch total, %.2f per node", avg, perNode)
+	if perNode > allocsPerNodeEpoch {
+		t.Errorf("standing epoch allocates %.2f objects per node per epoch, budget %.0f — a pooled path regressed",
+			perNode, allocsPerNodeEpoch)
+	}
+}

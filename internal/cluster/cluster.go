@@ -305,7 +305,7 @@ func sumMoara(byKind map[string]int64) int64 {
 
 // MoaraMessages sums the Moara-layer logical messages.
 func (c *Cluster) MoaraMessages() int64 {
-	return sumMoara(c.Net.Counter().ByKind)
+	return sumMoara(c.Net.Counter().ByKind())
 }
 
 // MessagesPerNode is MoaraMessages averaged over the cluster.
@@ -319,7 +319,7 @@ func (c *Cluster) MessagesPerNode() float64 {
 // poll-vs-standing comparison uses it so the per-round routing cost a
 // standing query pays only once is accounted on both sides.
 func (c *Cluster) QueryMessages() int64 {
-	return c.MoaraMessages() + c.Net.Counter().ByKind["overlay.route"]
+	return c.MoaraMessages() + c.Net.Counter().Logical("overlay.route")
 }
 
 // WireMoaraMessages counts Moara-layer transmissions: like
@@ -328,12 +328,12 @@ func (c *Cluster) QueryMessages() int64 {
 // counts are equal; the gap between them is the wire saving of
 // per-destination coalescing.
 func (c *Cluster) WireMoaraMessages() int64 {
-	return sumMoara(c.Net.Counter().WireByKind)
+	return sumMoara(c.Net.Counter().WireByKind())
 }
 
 // WireQueryMessages is WireMoaraMessages plus overlay route hops — the
 // wire-level counterpart of QueryMessages. Route hops are never
 // coalesced, so their wire and logical counts coincide.
 func (c *Cluster) WireQueryMessages() int64 {
-	return c.WireMoaraMessages() + c.Net.Counter().WireByKind["overlay.route"]
+	return c.WireMoaraMessages() + c.Net.Counter().WireCount("overlay.route")
 }

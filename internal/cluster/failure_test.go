@@ -143,7 +143,7 @@ func TestSQPNodeBound(t *testing.T) {
 		}
 		// Count distinct nodes receiving any query message.
 		receivers := 0
-		for range c.Net.Counter().RecvByNode {
+		for range c.Net.Counter().RecvByNode() {
 			receivers++
 		}
 		bound := 2*tc.m + 8 // §5: ≤2m tree nodes; slack for root+route

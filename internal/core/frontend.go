@@ -398,6 +398,7 @@ func (fe *frontend) handleQueryResp(_ ids.ID, rm ResponseMsg) {
 	delete(fq.groupsPending, rm.Group)
 	if !rm.Dup && rm.State != nil {
 		_ = fq.agg.Merge(rm.State)
+		aggregate.Recycle(rm.State)
 	}
 	if !rm.Dup {
 		// Each tree root's response carries the subtree members that

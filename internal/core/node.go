@@ -49,10 +49,36 @@ type Node struct {
 
 	// outbox is the per-destination coalescing buffer (wire batching):
 	// sends within one CoalesceWindow to the same neighbor ship as a
-	// single BatchMsg. order keeps flushes deterministic.
+	// single BatchMsg. order keeps flushes deterministic. The spare pair
+	// double-buffers the map and order slice so the per-epoch flush
+	// cycle reuses them instead of reallocating; itemPool recycles the
+	// per-destination slices that were NOT shipped inside a BatchMsg
+	// (singleton flushes — a batched slice is owned by the receiver).
 	outbox      map[ids.ID][]any
 	outboxOrder []ids.ID
 	outboxArmed bool
+	spareBox    map[ids.ID][]any
+	spareOrder  []ids.ID
+	itemPool    [][]any
+	flushFn     func()
+	// deferFn is the cancel-free timer fast path (simnet provides one;
+	// other Envs fall back to After with the handle discarded), and
+	// armFn the reusable-Timer-slot counterpart.
+	deferFn func(time.Duration, func())
+	armFn   func(time.Duration, func(), *simnet.Timer)
+
+	// predMemo short-circuits the per-message predicate-state lookup:
+	// virtually all traffic at a node concerns one or two groups, and
+	// canon strings arrive pointer-equal across messages, so the memo
+	// hit is a pointer compare instead of a string-map probe.
+	predMemoCanon string
+	predMemoVal   *predState
+
+	// targetScratch is reused by disseminate to build the per-query
+	// forward list (consumed synchronously before the call returns).
+	targetScratch []SetEntry
+	// freeExecs recycles finished exec records and their pending maps.
+	freeExecs []*exec
 
 	qidCounter uint64
 	gcArmed    bool
@@ -86,6 +112,23 @@ func NewNode(env simnet.Env, cfg Config, overlayCfg pastry.Config) *Node {
 		targetsGen:   -1,
 		subsGen:      -1,
 	}
+	n.flushFn = n.flushOutbox
+	if d, ok := env.(interface {
+		Defer(time.Duration, func())
+	}); ok {
+		n.deferFn = d.Defer
+	} else {
+		n.deferFn = func(d time.Duration, fn func()) { env.After(d, fn) }
+	}
+	if a, ok := env.(interface {
+		Arm(time.Duration, func(), *simnet.Timer)
+	}); ok {
+		n.armFn = a.Arm
+	} else {
+		n.armFn = func(d time.Duration, fn func(), t *simnet.Timer) {
+			t.SetFallback(env.After(d, fn))
+		}
+	}
 	n.overlay = pastry.New(env, overlayCfg)
 	n.overlay.Deliver = n.handleRouted
 	n.overlay.OnNodeRemoved = n.onPeerRemoved
@@ -110,6 +153,7 @@ func (n *Node) onPeerRemoved(dead ids.ID) {
 		changed := false
 		if _, ok := ps.children[dead]; ok {
 			delete(ps.children, dead)
+			ps.dirty = true
 			changed = true
 		}
 		if ps.hasParent && ps.parent == dead {
@@ -141,9 +185,7 @@ func (n *Node) onPeerRemoved(dead ids.ID) {
 		}
 	}
 	for _, ex := range finished {
-		if ex.cancel != nil {
-			ex.cancel()
-		}
+		ex.timer.Stop()
 		n.finishExec(ex)
 	}
 }
@@ -176,9 +218,7 @@ func (n *Node) Close() {
 	n.flushOutbox()
 	n.closed = true
 	for _, sub := range n.subs {
-		if sub.cancelTick != nil {
-			sub.cancelTick()
-		}
+		sub.tick.Stop()
 	}
 	for _, fs := range n.fe.subs {
 		if fs.renewCancel != nil {
@@ -216,9 +256,7 @@ func (n *Node) Recover(bootstrap ids.ID) {
 	n.gcArmed = false
 	n.armGC()
 	for _, sub := range n.subs {
-		if sub.cancelTick != nil {
-			sub.cancelTick()
-		}
+		sub.tick.Stop()
 		n.armEpoch(sub)
 	}
 	n.fe.recover()
@@ -239,35 +277,51 @@ func (n *Node) send(to ids.ID, m any) {
 	if n.outbox == nil {
 		n.outbox = make(map[ids.ID][]any)
 	}
-	if _, ok := n.outbox[to]; !ok {
+	items, ok := n.outbox[to]
+	if !ok {
 		n.outboxOrder = append(n.outboxOrder, to)
+		if k := len(n.itemPool); k > 0 {
+			items = n.itemPool[k-1][:0]
+			n.itemPool = n.itemPool[:k-1]
+		}
 	}
-	n.outbox[to] = append(n.outbox[to], m)
+	n.outbox[to] = append(items, m)
 	if !n.outboxArmed {
 		n.outboxArmed = true
 		// A zero window flushes after one event-loop tick: the timer
 		// fires at the same virtual instant (simulator) or immediately
 		// after the current serialized handler turn (TCP agent), so
 		// everything one burst emits coalesces with no added latency.
-		n.env.After(n.cfg.CoalesceWindow, n.flushOutbox)
+		n.deferFn(n.cfg.CoalesceWindow, n.flushFn)
 	}
 }
 
 // flushOutbox ships every queued destination's messages: singletons go
-// raw (no envelope overhead), anything more ships as one BatchMsg.
+// raw (no envelope overhead), anything more ships as one BatchMsg. The
+// detached buffers become next window's spares, so steady-state epochs
+// cycle two maps instead of allocating one per flush.
 func (n *Node) flushOutbox() {
 	if n.closed {
 		return
 	}
 	box, order := n.outbox, n.outboxOrder
-	n.outbox, n.outboxOrder, n.outboxArmed = nil, nil, false
+	n.outbox, n.outboxOrder, n.outboxArmed = n.spareBox, n.spareOrder, false
+	n.spareBox, n.spareOrder = nil, nil
 	for _, to := range order {
 		items := box[to]
 		if len(items) == 1 {
 			n.env.Send(to, items[0])
+			// The slice was not shipped; recycle its backing array.
+			if len(n.itemPool) < 64 {
+				n.itemPool = append(n.itemPool, items[:0])
+			}
 			continue
 		}
 		n.env.Send(to, BatchMsg{Items: items})
+	}
+	if box != nil {
+		clear(box)
+		n.spareBox, n.spareOrder = box, order[:0]
 	}
 }
 
@@ -379,12 +433,13 @@ func (n *Node) groupSpecOf(canon string) (groupSpec, error) {
 }
 
 func (n *Node) getPred(g groupSpec) *predState {
-	if ps, ok := n.preds[g.canon]; ok {
+	if ps, ok := n.predLookup(g.canon); ok {
 		return ps
 	}
 	ps := newPredState(g)
 	ps.evalLocal(n.store)
 	n.preds[g.canon] = ps
+	n.predMemoCanon, n.predMemoVal = g.canon, ps
 	if g.expr != nil {
 		for _, a := range predicate.Attrs(g.expr) {
 			n.byAttr[a] = append(n.byAttr[a], g.canon)
@@ -395,12 +450,27 @@ func (n *Node) getPred(g groupSpec) *predState {
 	return ps
 }
 
+// predLookup is the memoized n.preds access.
+func (n *Node) predLookup(canon string) (*predState, bool) {
+	if n.predMemoVal != nil && n.predMemoCanon == canon {
+		return n.predMemoVal, true
+	}
+	ps, ok := n.preds[canon]
+	if ok {
+		n.predMemoCanon, n.predMemoVal = canon, ps
+	}
+	return ps, ok
+}
+
 func (n *Node) dropPred(canon string) {
 	ps, ok := n.preds[canon]
 	if !ok {
 		return
 	}
 	delete(n.preds, canon)
+	if n.predMemoVal == ps {
+		n.predMemoCanon, n.predMemoVal = "", nil
+	}
 	if ps.group.expr != nil {
 		for _, a := range predicate.Attrs(ps.group.expr) {
 			list := n.byAttr[a]
@@ -454,7 +524,14 @@ func (n *Node) regionEstimate(level int) float64 {
 // recomputeState refreshes derived predicate state and reports whether
 // the observable part changed.
 func (n *Node) recomputeState(ps *predState) bool {
-	return ps.recompute(n.structural(ps.level), n.cfg.Threshold, n.self, n.regionEstimate)
+	g := n.overlay.Gen()
+	if !ps.dirty && ps.cleanGen == g {
+		return false
+	}
+	changed := ps.recompute(n.structural(ps.level), n.cfg.Threshold, n.self, n.regionEstimate)
+	ps.dirty = false
+	ps.cleanGen = g
+	return changed
 }
 
 // onAttrChange re-evaluates local satisfiability for every group that
@@ -513,10 +590,13 @@ func (n *Node) maybeSendStatus(ps *predState) {
 	ps.lastSentValid = true
 	ps.lastSentPrune = prune
 	ps.lastSentSet = append([]SetEntry(nil), set...)
+	// Ship the retained copy, not the live set: recompute reuses the
+	// qSet/updateSet backing buffers, and on the simulator an in-flight
+	// message aliases the sender's memory until delivery.
 	n.send(ps.parent, StatusMsg{
 		Group:     ps.group.canon,
 		Prune:     prune,
-		UpdateSet: set,
+		UpdateSet: ps.lastSentSet,
 		Np:        ps.np,
 		Unknown:   ps.unknown,
 		LastSeq:   ps.lastSeq,
@@ -537,6 +617,7 @@ func (n *Node) handleStatus(from ids.ID, sm StatusMsg) {
 		Np:        sm.Np,
 		Unknown:   sm.Unknown,
 	}
+	ps.dirty = true
 	// Bypassed/pruned ancestors learn the system's query progress from
 	// child piggybacks (§5 "Adaptation and SQP").
 	ps.learnSeq(sm.LastSeq, n.self)
@@ -561,7 +642,10 @@ type exec struct {
 	// accounting; a member without the query attribute still counts).
 	contrib int64
 	pending map[ids.ID]bool
-	cancel  func()
+	timer   simnet.Timer
+	// timeoutFn is the timeout closure, built once per pooled record.
+	timeoutFn func()
+	key       seenKey
 }
 
 // handleSubQuery starts dissemination at the tree root.
@@ -577,7 +661,7 @@ func (n *Node) handleSubQuery(sq SubQueryMsg) {
 		return
 	}
 	ps := n.getPred(g)
-	ps.level = 0
+	ps.setLevel(0)
 	ps.hasParent = false
 	qm := QueryMsg{
 		QID:     sq.QID,
@@ -619,7 +703,7 @@ func (n *Node) handleQuery(_ ids.ID, qm QueryMsg) {
 	ps := n.getPred(g)
 	ps.touch(n.env.Now())
 	if ps.level < 0 || qm.Level < ps.level {
-		ps.level = qm.Level
+		ps.setLevel(qm.Level)
 	}
 	if (!qm.Jump && (!ps.hasParent || ps.parent != qm.ReplyTo)) ||
 		(qm.Jump && !ps.hasParent) {
@@ -642,9 +726,11 @@ func (n *Node) handleQuery(_ ids.ID, qm QueryMsg) {
 }
 
 // disseminate forwards the query to this node's current query targets
-// and aggregates their responses plus the local contribution.
+// and aggregates their responses plus the local contribution. The
+// target list is consumed before the call returns, so it lives in a
+// per-node scratch buffer; exec records are pooled.
 func (n *Node) disseminate(ps *predState, qm QueryMsg, replyTo ids.ID) {
-	var targets []SetEntry
+	targets := n.targetScratch[:0]
 	if n.cfg.Mode == ModeGlobal {
 		for _, bt := range n.structural(qm.Level) {
 			targets = append(targets, SetEntry{ID: bt.ID, Level: bt.Level})
@@ -656,15 +742,15 @@ func (n *Node) disseminate(ps *predState, qm QueryMsg, replyTo ids.ID) {
 			}
 		}
 	}
-	ex := &exec{
-		qid:     qm.QID,
-		group:   qm.Group,
-		attrKey: qm.Attr,
-		spec:    qm.Spec,
-		groupBy: qm.GroupBy,
-		replyTo: replyTo,
-		state:   aggregate.NewGrouped(qm.Spec, n.cfg.MaxGroupKeys),
-	}
+	n.targetScratch = targets
+	ex := n.newExec()
+	ex.qid = qm.QID
+	ex.group = qm.Group
+	ex.attrKey = qm.Attr
+	ex.spec = qm.Spec
+	ex.groupBy = qm.GroupBy
+	ex.replyTo = replyTo
+	ex.state = aggregate.NewGrouped(qm.Spec, n.cfg.MaxGroupKeys)
 	if n.evalQuery(ps, qm) && n.claimAnswer(qm.QID) {
 		ex.contrib++
 		ex.state.AddKeyed(n.self, n.groupKey(qm.GroupBy), n.localValue(qm.Attr))
@@ -673,7 +759,9 @@ func (n *Node) disseminate(ps *predState, qm QueryMsg, replyTo ids.ID) {
 		n.finishExec(ex)
 		return
 	}
-	ex.pending = make(map[ids.ID]bool, len(targets))
+	if ex.pending == nil {
+		ex.pending = make(map[ids.ID]bool, len(targets))
+	}
 	n.execs[seenKey{qm.QID, qm.Group}] = ex
 	fwd := qm
 	fwd.ReplyTo = n.self
@@ -683,22 +771,30 @@ func (n *Node) disseminate(ps *predState, qm QueryMsg, replyTo ids.ID) {
 		fwd.Jump = t.Jump
 		n.send(t.ID, fwd)
 	}
-	key := seenKey{qm.QID, qm.Group}
-	ex.cancel = n.env.After(n.cfg.ChildTimeout, func() { n.execTimeout(key) })
+	n.armExecTimeout(ex, qm)
+}
+
+// armExecTimeout starts the child-timeout clock for an in-flight
+// aggregation, reusing the pooled record's closure and timer slot.
+func (n *Node) armExecTimeout(ex *exec, qm QueryMsg) {
+	ex.key = seenKey{qm.QID, qm.Group}
+	if ex.timeoutFn == nil {
+		ex.timeoutFn = func() { n.execTimeout(ex.key) }
+	}
+	n.armFn(n.cfg.ChildTimeout, ex.timeoutFn, &ex.timer)
 }
 
 // disseminateGlobal is the stateless Global baseline: forward down the
 // full broadcast tree, no group state anywhere.
 func (n *Node) disseminateGlobal(qm QueryMsg) {
-	ex := &exec{
-		qid:     qm.QID,
-		group:   qm.Group,
-		attrKey: qm.Attr,
-		spec:    qm.Spec,
-		groupBy: qm.GroupBy,
-		replyTo: qm.ReplyTo,
-		state:   aggregate.NewGrouped(qm.Spec, n.cfg.MaxGroupKeys),
-	}
+	ex := n.newExec()
+	ex.qid = qm.QID
+	ex.group = qm.Group
+	ex.attrKey = qm.Attr
+	ex.spec = qm.Spec
+	ex.groupBy = qm.GroupBy
+	ex.replyTo = qm.ReplyTo
+	ex.state = aggregate.NewGrouped(qm.Spec, n.cfg.MaxGroupKeys)
 	if n.evalGlobal(qm) && n.claimAnswer(qm.QID) {
 		ex.contrib++
 		ex.state.AddKeyed(n.self, n.groupKey(qm.GroupBy), n.localValue(qm.Attr))
@@ -708,7 +804,9 @@ func (n *Node) disseminateGlobal(qm QueryMsg) {
 		n.finishExec(ex)
 		return
 	}
-	ex.pending = make(map[ids.ID]bool, len(targets))
+	if ex.pending == nil {
+		ex.pending = make(map[ids.ID]bool, len(targets))
+	}
 	n.execs[seenKey{qm.QID, qm.Group}] = ex
 	fwd := qm
 	fwd.ReplyTo = n.self
@@ -717,8 +815,18 @@ func (n *Node) disseminateGlobal(qm QueryMsg) {
 		fwd.Level = t.Level
 		n.send(t.ID, fwd)
 	}
-	key := seenKey{qm.QID, qm.Group}
-	ex.cancel = n.env.After(n.cfg.ChildTimeout, func() { n.execTimeout(key) })
+	n.armExecTimeout(ex, qm)
+}
+
+// newExec takes an exec record from the pool; its pending map (if any)
+// arrives empty.
+func (n *Node) newExec() *exec {
+	if k := len(n.freeExecs); k > 0 {
+		ex := n.freeExecs[k-1]
+		n.freeExecs = n.freeExecs[:k-1]
+		return ex
+	}
+	return &exec{}
 }
 
 // evalQuery evaluates the query's full predicate locally.
@@ -799,6 +907,9 @@ func (n *Node) handleResponse(from ids.ID, rm ResponseMsg) {
 	delete(ex.pending, from)
 	if !rm.Dup && rm.State != nil {
 		_ = ex.state.Merge(rm.State)
+		// The child's partial is fully folded in (merges copy values,
+		// never alias); recycle it for this node's next send.
+		aggregate.Recycle(rm.State)
 	}
 	if !rm.Dup {
 		ex.contrib += rm.Contributors
@@ -807,20 +918,22 @@ func (n *Node) handleResponse(from ids.ID, rm ResponseMsg) {
 	// piggybacks on every query response, reaching ancestors even from
 	// children that never send status updates (NO-UPDATE).
 	if !rm.Dup {
-		if ps, psOK := n.preds[ex.group]; psOK {
+		if ps, psOK := n.predLookup(ex.group); psOK {
 			switch cs := ps.children[from]; {
 			case cs == nil:
 				ps.children[from] = &childState{NpOnly: true, Np: rm.Np, Unknown: rm.Unknown}
+				ps.dirty = true
 			case cs.NpOnly || !cs.Prune:
-				cs.Np, cs.Unknown = rm.Np, rm.Unknown
+				if cs.Np != rm.Np || cs.Unknown != rm.Unknown {
+					cs.Np, cs.Unknown = rm.Np, rm.Unknown
+					ps.dirty = true
+				}
 			}
 			n.recomputeState(ps)
 		}
 	}
 	if len(ex.pending) == 0 {
-		if ex.cancel != nil {
-			ex.cancel()
-		}
+		ex.timer.Stop()
 		n.finishExec(ex)
 	}
 }
@@ -838,7 +951,7 @@ func (n *Node) execTimeout(key seenKey) {
 func (n *Node) finishExec(ex *exec) {
 	delete(n.execs, seenKey{ex.qid, ex.group})
 	np, unknown := 0, 0.0
-	if ps, ok := n.preds[ex.group]; ok {
+	if ps, ok := n.predLookup(ex.group); ok {
 		np, unknown = ps.np, ps.unknown
 	}
 	n.send(ex.replyTo, ResponseMsg{
@@ -849,13 +962,23 @@ func (n *Node) finishExec(ex *exec) {
 		Np:           np,
 		Unknown:      unknown,
 	})
+	// Recycle the record: the shipped state is owned by the response
+	// from here on, everything else resets. The timeout closure is kept
+	// — it reads ex.key at fire time, so it re-binds with the record.
+	if len(n.freeExecs) < 32 {
+		if ex.pending != nil {
+			clear(ex.pending)
+		}
+		*ex = exec{pending: ex.pending, timeoutFn: ex.timeoutFn}
+		n.freeExecs = append(n.freeExecs, ex)
+	}
 }
 
 // handleProbe answers a §6.3 size probe with the group's current query
 // cost: 2·np for warm trees, a system-size estimate for cold ones.
 func (n *Node) handleProbe(pm ProbeMsg) {
 	cost := 0.0
-	ps, ok := n.preds[pm.Group]
+	ps, ok := n.predLookup(pm.Group)
 	switch {
 	case n.cfg.Mode == ModeGlobal || !ok:
 		cost = 2 * n.overlay.EstimateSize()

@@ -78,6 +78,9 @@ type childState struct {
 	Np        int
 	Unknown   float64
 	NpOnly    bool
+	// mark is recompute's structural-membership pass stamp (replaces a
+	// per-call set allocation on the epoch-report hot path).
+	mark int
 }
 
 // predState is the per-(node, group) state of §4 and §5.
@@ -126,6 +129,24 @@ type predState struct {
 	unknown float64
 
 	lastActive time.Duration
+
+	// Recompute scratch: qsetSpare double-buffers the qSet backing (the
+	// previous generation's buffer is rebuilt into while the current
+	// qSet/updateSet stay readable), selfBuf double-buffers the
+	// {self}-singleton updateSet, and pass stamps childState.mark.
+	qsetSpare []SetEntry
+	selfBuf   [2][1]SetEntry
+	selfFlip  int
+	pass      int
+
+	// dirty marks that a recompute input changed (children statuses,
+	// satLocal, level, the update flag); cleanGen is the overlay
+	// generation the last recompute ran against. recomputeState skips
+	// the walk entirely when the state is clean at the current
+	// generation — identical inputs reproduce identical outputs and a
+	// false change report, so the skip is observationally equivalent.
+	dirty    bool
+	cleanGen int
 }
 
 const maxWindow = 16
@@ -135,6 +156,8 @@ func newPredState(g groupSpec) *predState {
 		group:    g,
 		level:    -1,
 		children: make(map[ids.ID]*childState),
+		dirty:    true,
+		cleanGen: -1,
 	}
 }
 
@@ -147,6 +170,9 @@ func (ps *predState) evalLocal(g predicate.Getter) bool {
 	}
 	changed := sat != ps.satLocal
 	ps.satLocal = sat
+	if changed {
+		ps.dirty = true
+	}
 	return changed
 }
 
@@ -154,23 +180,20 @@ func (ps *predState) evalLocal(g predicate.Getter) bool {
 // current children state and structural targets. It reports whether the
 // observable state (sat or updateSet) changed — the paper's "c" events.
 func (ps *predState) recompute(structural []pastry.BroadcastTarget, threshold int, self ids.ID, regionEst func(level int) float64) (changed bool) {
-	oldSat := ps.sat
-	oldSet := ps.updateSet
-
-	qset := make([]SetEntry, 0, len(structural)+1)
+	ps.pass++
+	qset := ps.qsetSpare[:0]
 	np := 0
 	unknown := 0.0
-	addChild := func(id ids.ID, level int) {
-		cs := ps.children[id]
+	addChild := func(qs []SetEntry, id ids.ID, level int, cs *childState) []SetEntry {
 		switch {
 		case cs == nil:
 			// Procedure 1 default: an unreported child must keep
 			// receiving queries.
-			qset = append(qset, SetEntry{ID: id, Level: level})
+			qs = append(qs, SetEntry{ID: id, Level: level})
 			unknown += regionEst(level)
 		case cs.NpOnly:
 			// No status yet, but responses told us the subtree cost.
-			qset = append(qset, SetEntry{ID: id, Level: level})
+			qs = append(qs, SetEntry{ID: id, Level: level})
 			np += cs.Np
 			unknown += cs.Unknown
 		case cs.Prune:
@@ -179,38 +202,56 @@ func (ps *predState) recompute(structural []pastry.BroadcastTarget, threshold in
 			for _, e := range cs.UpdateSet {
 				// Entries other than the child itself are SQP
 				// shortcuts around it.
-				qset = append(qset, SetEntry{ID: e.ID, Level: e.Level, Jump: e.ID != id})
+				qs = append(qs, SetEntry{ID: e.ID, Level: e.Level, Jump: e.ID != id})
 			}
 			np += cs.Np
 			unknown += cs.Unknown
 		}
+		return qs
 	}
-	structSet := make(map[ids.ID]bool, len(structural))
 	for _, bt := range structural {
-		structSet[bt.ID] = true
-		addChild(bt.ID, bt.Level)
+		cs := ps.children[bt.ID]
+		if cs != nil {
+			cs.mark = ps.pass
+		}
+		qset = addChild(qset, bt.ID, bt.Level, cs)
 	}
 	// Adopted (non-structural) children that reported state. NpOnly
 	// records are cost caches from response piggybacks — often SQP
 	// grandchildren — and must not become query targets here.
 	for id, cs := range ps.children {
-		if structSet[id] || cs == nil || cs.NpOnly {
+		if cs == nil || cs.mark == ps.pass || cs.NpOnly {
 			continue
 		}
-		addChild(id, maxLevel(cs.UpdateSet, ps.level))
+		qset = addChild(qset, id, maxLevel(cs.UpdateSet, ps.level), cs)
 	}
 	if ps.satLocal {
 		qset = append(qset, SetEntry{ID: self, Level: ps.level})
 	}
 	qset = dedupeEntries(qset)
 
-	ps.qSet = qset
-	ps.sat = len(qset) > 0
+	// Decide the new updateSet without clobbering the current one: the
+	// change test below still needs it, and the new set is built in
+	// buffers disjoint from everything the current generation can
+	// reference.
+	var newSet []SetEntry
 	if len(qset) < threshold {
-		ps.updateSet = qset
+		newSet = qset
 	} else {
-		ps.updateSet = []SetEntry{{ID: self, Level: ps.level}}
+		ps.selfFlip ^= 1
+		buf := &ps.selfBuf[ps.selfFlip]
+		buf[0] = SetEntry{ID: self, Level: ps.level}
+		newSet = buf[:]
 	}
+	newSat := len(qset) > 0
+	changed = newSat != ps.sat || !equalEntries(newSet, ps.updateSet)
+
+	// Commit; the displaced qSet backing becomes the next rebuild's
+	// scratch buffer.
+	ps.qsetSpare = ps.qSet[:0]
+	ps.qSet = qset
+	ps.sat = newSat
+	ps.updateSet = newSet
 	// Self receives queries when it is advertised (or when the policy
 	// keeps it in NO-UPDATE, handled by wireView).
 	if containsSelf(ps.updateSet, self) || !ps.update {
@@ -219,7 +260,7 @@ func (ps *predState) recompute(structural []pastry.BroadcastTarget, threshold in
 	ps.np = np
 	ps.unknown = unknown
 	ps.prune = ps.update && !ps.sat
-	return ps.sat != oldSat || !equalEntries(ps.updateSet, oldSet)
+	return changed
 }
 
 // wireView is what the parent should currently believe: NO-UPDATE nodes
@@ -296,7 +337,12 @@ func (ps *predState) runPolicy(mode Mode, kUpdate, kNoUpdate int) (flipped bool)
 		}
 	}
 	ps.prune = ps.update && !ps.sat
-	return ps.update != old
+	if ps.update != old {
+		// The update flag feeds recompute's np self-count.
+		ps.dirty = true
+		return true
+	}
+	return false
 }
 
 // nextSeq allocates a root-side query sequence number.
@@ -343,6 +389,15 @@ func (ps *predState) recordMissed(missed int, self ids.ID) int {
 	return missed
 }
 
+// setLevel records the node's tree depth, marking recompute state
+// dirty when it actually changes.
+func (ps *predState) setLevel(level int) {
+	if ps.level != level {
+		ps.level = level
+		ps.dirty = true
+	}
+}
+
 // touch refreshes the GC clock.
 func (ps *predState) touch(now time.Duration) { ps.lastActive = now }
 
@@ -367,9 +422,29 @@ func equalEntries(a, b []SetEntry) bool {
 	return true
 }
 
+// dedupeEntries keeps the first occurrence of each ID, in place. Small
+// sets (the overwhelmingly common case: fan-out per level is bounded by
+// the routing radix) dedup by linear scan; only genuinely large sets
+// pay for a map.
 func dedupeEntries(s []SetEntry) []SetEntry {
 	if len(s) <= 1 {
 		return s
+	}
+	if len(s) <= 64 {
+		out := s[:0]
+		for _, e := range s {
+			dup := false
+			for _, o := range out {
+				if o.ID == e.ID {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, e)
+			}
+		}
+		return out
 	}
 	seen := make(map[ids.ID]bool, len(s))
 	out := s[:0]

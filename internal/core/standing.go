@@ -6,6 +6,7 @@ import (
 
 	"github.com/moara/moara/internal/aggregate"
 	"github.com/moara/moara/internal/ids"
+	"github.com/moara/moara/internal/simnet"
 )
 
 // This file implements standing queries: the push-based continuous
@@ -122,13 +123,19 @@ type subState struct {
 	// sends one final empty report — clearing the parent's buffered
 	// copy under replace-not-merge — before the relay goes silent.
 	lastNonEmpty bool
+	// lastKeys is the previous epoch's report key count, used to size
+	// the next epoch's accumulator map up front.
+	lastKeys int
 	// gen is the newest renewal round seen (see InstallMsg.Gen);
 	// installs from older rounds are ignored.
 	gen uint64
 
-	lastRenew  time.Duration
-	lastDown   time.Duration
-	cancelTick func()
+	lastRenew time.Duration
+	lastDown  time.Duration
+	tick      simnet.Timer
+	// tickFn is the epoch-tick closure, built once per subState so the
+	// per-epoch re-arm allocates nothing but the timer record.
+	tickFn func()
 }
 
 // handleSubscribe installs or renews a subscription at the tree root.
@@ -146,7 +153,7 @@ func (n *Node) handleSubscribe(sm SubscribeMsg) {
 		return
 	}
 	ps := n.getPred(g)
-	ps.level = 0
+	ps.setLevel(0)
 	ps.hasParent = false
 	if !ok {
 		sub = &subState{
@@ -231,9 +238,9 @@ func (n *Node) handleInstall(from ids.ID, im InstallMsg) {
 		// different (usually deeper) level, and keeping the old minimum
 		// would leave it claiming a stale, oversized region — its old
 		// edges would fight the rebuilt tree for children forever.
-		ps.level = im.Level
+		ps.setLevel(im.Level)
 	} else if ps.level < 0 || im.Level < ps.level {
-		ps.level = im.Level
+		ps.setLevel(im.Level)
 	}
 	if (!im.Jump && (!ps.hasParent || ps.parent != im.ReplyTo)) ||
 		(im.Jump && !ps.hasParent) {
@@ -412,8 +419,11 @@ func (n *Node) syncSubs(ps *predState) {
 // independent of CoalesceWindow — so toggling coalescing never shifts
 // epoch timing.
 func (n *Node) armEpoch(sub *subState) {
+	if sub.tickFn == nil {
+		sub.tickFn = func() { n.epochTick(sub) }
+	}
 	d := sub.period - n.env.Now()%sub.period
-	sub.cancelTick = n.env.After(d, func() { n.epochTick(sub) })
+	n.armFn(d, sub.tickFn, &sub.tick)
 }
 
 // epochTick is one epoch at one node: enforce the lease, recompute the
@@ -447,7 +457,7 @@ func (n *Node) epochTick(sub *subState) {
 	// competing parents — each flip leaving a double-counted report
 	// behind for the stale window.
 	if n.cfg.Mode != ModeGlobal {
-		if ps, ok := n.preds[sub.group.canon]; ok {
+		if ps, ok := n.predLookup(sub.group.canon); ok {
 			ps.recordQueryEvent(n.self)
 			if ps.runPolicy(n.cfg.Mode, n.cfg.KUpdate, n.cfg.KNoUpdate) {
 				n.recomputeState(ps)
@@ -467,7 +477,7 @@ func (n *Node) epochTick(sub *subState) {
 // re-enters the stream without waiting out a full epoch of pipeline
 // refill (its buffered child reports survive the re-parenting).
 func (n *Node) sendReport(sub *subState, now time.Duration) {
-	state := aggregate.NewGrouped(sub.spec, n.cfg.MaxGroupKeys)
+	state := aggregate.NewGroupedSized(sub.spec, n.cfg.MaxGroupKeys, sub.lastKeys)
 	var contrib int64
 	if n.subEval(sub) && n.claimStanding(sub) {
 		contrib++
@@ -482,14 +492,16 @@ func (n *Node) sendReport(sub *subState, now time.Duration) {
 	for id, rep := range sub.reports {
 		if now-rep.at > stale {
 			delete(sub.reports, id)
+			aggregate.Recycle(rep.state)
 			continue
 		}
 		_ = state.Merge(rep.state)
 		contrib += rep.contrib
 	}
+	sub.lastKeys = state.KeyCount()
 	if sub.root {
 		expected := 0.0
-		if ps, ok := n.preds[sub.group.canon]; ok {
+		if ps, ok := n.predLookup(sub.group.canon); ok {
 			expected = float64(ps.np) + ps.unknown
 		}
 		n.send(sub.replyTo, SampleMsg{
@@ -510,12 +522,14 @@ func (n *Node) sendReport(sub *subState, now time.Duration) {
 		// must announce the transition — silently going quiet would
 		// leave the parent replaying the stale copy (a subtree whose
 		// members re-parented elsewhere would be double-counted for a
-		// stale window per tree level).
+		// stale window per tree level). The unsent state goes back to
+		// the pool — this skip runs every epoch at sparse relays.
+		aggregate.Recycle(state)
 		return
 	}
 	sub.lastNonEmpty = !empty
 	np, unknown := 0, 0.0
-	if ps, ok := n.preds[sub.group.canon]; ok {
+	if ps, ok := n.predLookup(sub.group.canon); ok {
 		np, unknown = ps.np, ps.unknown
 	}
 	em := EpochReportMsg{
@@ -567,7 +581,7 @@ func (n *Node) subEval(sub *subState) bool {
 		if sub.group.expr == nil {
 			return true
 		}
-		if ps, ok := n.preds[sub.group.canon]; ok {
+		if ps, ok := n.predLookup(sub.group.canon); ok {
 			return ps.satLocal
 		}
 		return sub.group.expr.Eval(n.store)
@@ -615,16 +629,31 @@ func (n *Node) handleEpochReport(from ids.ID, em EpochReportMsg, routed bool) {
 		n.send(from, CancelMsg{SID: em.SID, Group: em.Group})
 		return
 	}
-	sub.reports[from] = &childReport{state: em.State, contrib: em.Contributors, epoch: em.Epoch, at: n.env.Now()}
+	if rep := sub.reports[from]; rep != nil {
+		// Replace-not-merge in place: the steady-state epoch stream
+		// overwrites the same record instead of allocating one per
+		// report, and the displaced state — fully merged into past
+		// reports, referenced by nothing — feeds the allocation pool.
+		if rep.state != em.State {
+			aggregate.Recycle(rep.state)
+		}
+		*rep = childReport{state: em.State, contrib: em.Contributors, epoch: em.Epoch, at: n.env.Now()}
+	} else {
+		sub.reports[from] = &childReport{state: em.State, contrib: em.Contributors, epoch: em.Epoch, at: n.env.Now()}
+	}
 	// Refresh the child's lazily maintained subtree cost, mirroring
 	// handleResponse's piggyback path.
 	if !routed && n.cfg.Mode != ModeGlobal {
-		if ps, psOK := n.preds[em.Group]; psOK {
+		if ps, psOK := n.predLookup(em.Group); psOK {
 			switch cs := ps.children[from]; {
 			case cs == nil:
 				ps.children[from] = &childState{NpOnly: true, Np: em.Np, Unknown: em.Unknown}
+				ps.dirty = true
 			case cs.NpOnly || !cs.Prune:
-				cs.Np, cs.Unknown = em.Np, em.Unknown
+				if cs.Np != em.Np || cs.Unknown != em.Unknown {
+					cs.Np, cs.Unknown = em.Np, em.Unknown
+					ps.dirty = true
+				}
 			}
 			n.recomputeState(ps)
 		}
@@ -667,9 +696,7 @@ func (n *Node) dropSub(sub *subState, cascade bool) {
 		return
 	}
 	delete(n.subs, key)
-	if sub.cancelTick != nil {
-		sub.cancelTick()
-	}
+	sub.tick.Stop()
 	if !cascade {
 		return
 	}

@@ -88,7 +88,7 @@ func sqpCosts(n, groupSize, threshold, queries, warm int, seed int64) (queryCost
 			panic(fmt.Sprintf("fig11: sum=%d want %d (n=%d t=%d q=%d)", got, groupSize, n, threshold, q))
 		}
 	}
-	kinds := c.Net.Counter().ByKind
+	kinds := c.Net.Counter().ByKind()
 	qmsgs := float64(kinds["moara.query"] + kinds["moara.resp"])
 	umsgs := float64(kinds["moara.status"])
 	return qmsgs / float64(queries), umsgs

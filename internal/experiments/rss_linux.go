@@ -1,0 +1,16 @@
+//go:build linux
+
+package experiments
+
+import "syscall"
+
+// peakRSSMB reads the process's peak resident set size in MiB (Linux
+// reports ru_maxrss in KiB). It is monotone over the process lifetime,
+// so per-size readings show the high-water mark up to that size.
+func peakRSSMB() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return float64(ru.Maxrss) / 1024
+}

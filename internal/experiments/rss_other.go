@@ -1,0 +1,15 @@
+//go:build !linux
+
+package experiments
+
+import "runtime"
+
+// peakRSSMB approximates the peak resident set from the Go runtime's
+// own OS reservation on platforms without a portable maxrss reading
+// (darwin reports ru_maxrss in bytes, windows lacks Getrusage): not a
+// true RSS, but monotone and the right order of magnitude.
+func peakRSSMB() float64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.Sys) / (1 << 20)
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"github.com/moara/moara/internal/cluster"
+	"github.com/moara/moara/internal/core"
+	"github.com/moara/moara/internal/metrics"
+	"github.com/moara/moara/internal/workload"
+)
+
+// ScaleOptions parameterize the N-scaling study: the standard
+// monitoring workload (one-shot scalar + grouped queries, then an
+// installed standing query) run at increasing system sizes, reporting
+// virtual-time costs AND the harness's own wall-clock and memory — the
+// numbers that decide how big an experiment the simulator itself can
+// carry. Not a paper figure: the paper stops at a few thousand nodes,
+// and this table is what lets the repo run (and keep running) beyond
+// it.
+type ScaleOptions struct {
+	// Sizes are the system sizes to sweep (default 300, 1000, 2000).
+	// The scale profile sweeps 300..10000.
+	Sizes  []int
+	Slices int           // distinct group-by keys (default 16)
+	Epochs int           // measured standing epochs per size (default 10)
+	Period time.Duration // epoch length (default 200ms)
+	Seed   int64
+}
+
+// Defaults fills unset parameters.
+func (o ScaleOptions) Defaults() ScaleOptions {
+	if len(o.Sizes) == 0 {
+		o.Sizes = []int{300, 1000, 2000}
+	}
+	if o.Slices == 0 {
+		o.Slices = 16
+	}
+	if o.Epochs == 0 {
+		o.Epochs = 10
+	}
+	if o.Period == 0 {
+		o.Period = 200 * time.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// RunScale runs the standard one-shot + standing workload at each size.
+// Per size it reports: one-shot turnaround and logical message cost,
+// standing per-epoch wire messages and delivery lag (all virtual-time),
+// plus the wall-clock the whole size took and the process's peak RSS —
+// the scalability claim is that the N=10000 row completes at all, in
+// CI-feasible time.
+func RunScale(opt ScaleOptions) *Table {
+	opt = opt.Defaults()
+	t := &Table{
+		Title: "Hot-path scaling: the standard workload as N grows",
+		Note: fmt.Sprintf("%d slices (Zipf), epoch=%v, %d measured standing epochs per size; wall/RSS measure the harness itself",
+			opt.Slices, opt.Period, opt.Epochs),
+		Columns: []string{"N", "oneshot_ms", "oneshot_msgs", "grouped_ms", "standing_msgs_per_epoch", "standing_lag_ms", "wall", "peak_rss_mb"},
+	}
+	for _, n := range opt.Sizes {
+		start := time.Now()
+		row := runScaleSize(n, opt)
+		wall := time.Since(start).Round(10 * time.Millisecond)
+		t.AddRow(fmt.Sprint(n), row.oneshotMs, row.oneshotMsgs, row.groupedMs,
+			row.standingMsgs, row.standingLag, wall.String(), fmt.Sprintf("%.0f", peakRSSMB()))
+		runtime.GC()
+	}
+	return t
+}
+
+type scaleRow struct {
+	oneshotMs, oneshotMsgs, groupedMs, standingMsgs, standingLag string
+}
+
+func runScaleSize(n int, opt ScaleOptions) scaleRow {
+	// The LAN/Emulab processing model (per-message CPU cost, shared
+	// CPUs) is the paper's environment; SubTTL keeps renewals out of
+	// the short measurement window, as in RunStanding.
+	c := cluster.New(emulabOptions(n, opt.Seed, core.Config{SubTTL: 10 * time.Minute}))
+	rng := rand.New(rand.NewSource(opt.Seed + 77))
+	slices := workload.AssignSlices(rng, n, opt.Slices)
+	for i, nd := range c.Nodes {
+		nd.Store().SetString("slice", slices[i])
+		nd.Store().SetFloat("mem_util", math.Mod(float64(i)*13.7, 100))
+	}
+	scalarReq, err := core.ParseRequest("avg(mem_util)")
+	if err != nil {
+		panic(err)
+	}
+	groupedReq, err := core.ParseRequest("avg(mem_util) group by slice")
+	if err != nil {
+		panic(err)
+	}
+	if err := c.Warm(scalarReq); err != nil {
+		panic(err)
+	}
+
+	startMsgs := c.QueryMessages()
+	res, err := c.Execute(0, scalarReq)
+	if err != nil {
+		panic(err)
+	}
+	oneshotMs := metrics.FormatMs(res.Stats.TotalTime)
+	oneshotMsgs := fmt.Sprintf("%d", c.QueryMessages()-startMsgs)
+
+	gres, err := c.Execute(0, groupedReq)
+	if err != nil {
+		panic(err)
+	}
+	groupedMs := metrics.FormatMs(gres.Stats.TotalTime)
+
+	// Standing query: install, let the pipeline fill, measure warm
+	// epochs only.
+	sreq := groupedReq
+	sreq.Period = opt.Period
+	warm, counting := false, false
+	var lags []time.Duration
+	sid, err := c.Subscribe(0, sreq, func(s core.Sample) {
+		if !s.ColdStart {
+			warm = true
+		}
+		if counting {
+			lags = append(lags, s.Lag)
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; !warm && i < 64; i++ {
+		c.RunFor(opt.Period)
+	}
+	if !warm {
+		panic("scale: standing subscription never warmed")
+	}
+	startWire := c.WireQueryMessages()
+	counting = true
+	c.RunFor(time.Duration(opt.Epochs) * opt.Period)
+	counting = false
+	msgs := float64(c.WireQueryMessages()-startWire) / float64(opt.Epochs)
+	c.Unsubscribe(0, sid)
+	c.RunFor(2 * opt.Period)
+
+	rec := metrics.NewRecorder(len(lags))
+	for _, l := range lags {
+		rec.Add(l)
+	}
+	return scaleRow{
+		oneshotMs:    oneshotMs,
+		oneshotMsgs:  oneshotMsgs,
+		groupedMs:    groupedMs,
+		standingMsgs: f1(msgs),
+		standingLag:  metrics.FormatMs(rec.Mean()),
+	}
+}

@@ -128,16 +128,12 @@ func (id ID) WithDigit(i, d int) ID {
 // CommonPrefixLen returns the number of leading routing digits shared by
 // a and b. It is Digits when a == b.
 func CommonPrefixLen(a, b ID) int {
-	for i := 0; i < Bytes; i++ {
-		x := a[i] ^ b[i]
-		if x == 0 {
-			continue
-		}
-		// Two digits per byte: check the high nibble first.
-		if x&0xf0 != 0 {
-			return 2 * i
-		}
-		return 2*i + 1
+	ua, ub := toU128(a), toU128(b)
+	if x := ua.hi ^ ub.hi; x != 0 {
+		return bits.LeadingZeros64(x) / DigitBits
+	}
+	if x := ua.lo ^ ub.lo; x != 0 {
+		return (64 + bits.LeadingZeros64(x)) / DigitBits
 	}
 	return Digits
 }
@@ -145,70 +141,116 @@ func CommonPrefixLen(a, b ID) int {
 // Cmp compares a and b as unsigned big-endian integers, returning -1, 0,
 // or 1.
 func Cmp(a, b ID) int {
-	for i := 0; i < Bytes; i++ {
-		switch {
-		case a[i] < b[i]:
-			return -1
-		case a[i] > b[i]:
-			return 1
-		}
-	}
-	return 0
+	return toU128(a).cmp(toU128(b))
 }
 
 // Less reports a < b in unsigned integer order.
-func Less(a, b ID) bool { return Cmp(a, b) < 0 }
+func Less(a, b ID) bool { return toU128(a).cmp(toU128(b)) < 0 }
 
 // Distance returns the absolute difference |a-b| interpreted as 128-bit
 // unsigned integers (linear, not ring, distance).
 func Distance(a, b ID) ID {
-	if Cmp(a, b) < 0 {
-		a, b = b, a
+	ua, ub := toU128(a), toU128(b)
+	if ua.cmp(ub) < 0 {
+		ua, ub = ub, ua
 	}
-	return sub(a, b)
+	return ua.sub(ub).id()
 }
 
 // RingDistance returns the minimal distance between a and b around the
 // 2^128 ring: min(|a-b|, 2^128 - |a-b|).
 func RingDistance(a, b ID) ID {
-	d := Distance(a, b)
-	nd := neg(d)
-	if Cmp(nd, d) < 0 {
+	return ringDistU(toU128(a), toU128(b)).id()
+}
+
+// ringDistU is RingDistance in the uint64-pair domain (the routing hot
+// path compares distances far more often than it materializes them).
+func ringDistU(ua, ub u128) u128 {
+	if ua.cmp(ub) < 0 {
+		ua, ub = ub, ua
+	}
+	d := ua.sub(ub)
+	nd := u128{}.sub(d)
+	if nd.cmp(d) < 0 {
 		return nd
 	}
 	return d
+}
+
+// GapCW returns the clockwise distance from a to b on the 2^128 ring:
+// (b - a) mod 2^128.
+func GapCW(a, b ID) ID {
+	return toU128(b).sub(toU128(a)).id()
+}
+
+// Gap is a ring distance kept in native-integer form for
+// comparison-heavy data structures (leaf-set ordering): comparing two
+// Gaps is two word compares, with no byte marshalling.
+type Gap struct{ Hi, Lo uint64 }
+
+// GapCWNative is GapCW without materializing an ID.
+func GapCWNative(a, b ID) Gap {
+	d := toU128(b).sub(toU128(a))
+	return Gap{d.hi, d.lo}
+}
+
+// Less orders gaps as 128-bit unsigned integers.
+func (a Gap) Less(b Gap) bool {
+	if a.Hi != b.Hi {
+		return a.Hi < b.Hi
+	}
+	return a.Lo < b.Lo
+}
+
+// Fraction maps the gap to [0,1), like Fraction on an ID.
+func (a Gap) Fraction() float64 {
+	return float64(a.Hi) / (1 << 63) / 2
 }
 
 // CloserToKey reports whether a is strictly closer to key than b under
 // the ring metric, breaking ties toward the numerically smaller ID so
 // that "closest node to a key" is always unique.
 func CloserToKey(key, a, b ID) bool {
-	da, db := RingDistance(key, a), RingDistance(key, b)
-	switch Cmp(da, db) {
+	uk, ua, ub := toU128(key), toU128(a), toU128(b)
+	switch ringDistU(uk, ua).cmp(ringDistU(uk, ub)) {
 	case -1:
 		return true
 	case 1:
 		return false
 	default:
-		return Less(a, b)
+		return ua.cmp(ub) < 0
 	}
 }
 
-// sub returns a-b assuming a >= b.
-func sub(a, b ID) ID {
-	ah, al := split(a)
-	bh, bl := split(b)
-	lo, borrow := bits.Sub64(al, bl, 0)
-	hi, _ := bits.Sub64(ah, bh, borrow)
-	return join(hi, lo)
+// u128 is an identifier in native-integer form; the comparison-heavy
+// ring arithmetic stays in this domain to avoid byte marshalling.
+type u128 struct{ hi, lo uint64 }
+
+func toU128(a ID) u128 {
+	return u128{binary.BigEndian.Uint64(a[:8]), binary.BigEndian.Uint64(a[8:])}
 }
 
-// neg returns the two's complement 2^128 - a (and 0 for a == 0).
-func neg(a ID) ID {
-	ah, al := split(a)
-	lo, borrow := bits.Sub64(0, al, 0)
-	hi, _ := bits.Sub64(0, ah, borrow)
-	return join(hi, lo)
+func (a u128) id() ID { return join(a.hi, a.lo) }
+
+func (a u128) cmp(b u128) int {
+	switch {
+	case a.hi < b.hi:
+		return -1
+	case a.hi > b.hi:
+		return 1
+	case a.lo < b.lo:
+		return -1
+	case a.lo > b.lo:
+		return 1
+	}
+	return 0
+}
+
+// sub returns a-b mod 2^128.
+func (a u128) sub(b u128) u128 {
+	lo, borrow := bits.Sub64(a.lo, b.lo, 0)
+	hi, _ := bits.Sub64(a.hi, b.hi, borrow)
+	return u128{hi, lo}
 }
 
 func split(a ID) (hi, lo uint64) {

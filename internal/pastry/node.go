@@ -63,6 +63,19 @@ type Node struct {
 	joined      bool
 	joinPending []pendingRoute
 	gen         int
+	// estCache memoizes EstimateSize against the leaf-set version: the
+	// adaptation layer consults the estimate per unreported child per
+	// recompute, far more often than the leaf set changes.
+	estCache   float64
+	estVersion int
+	// ksCache memoizes knownSample against the (routing table, leaf
+	// set) versions: the anti-entropy tick and the obituary flood
+	// enumerate known peers far more often than routing state changes.
+	// Rebuilds allocate fresh so in-flight gossip holding the previous
+	// sample stays intact.
+	ksCache []ids.ID
+	ksRT    int
+	ksLeaf  int
 	// dead holds death certificates: recently failed nodes that must
 	// not be re-learned from stale gossip.
 	dead map[ids.ID]time.Duration
@@ -81,13 +94,14 @@ type pendingRoute struct {
 func New(env simnet.Env, cfg Config) *Node {
 	cfg = cfg.withDefaults()
 	n := &Node{
-		env:       env,
-		cfg:       cfg,
-		self:      env.Self(),
-		leaf:      NewLeafSet(env.Self(), cfg.LeafSetSize),
-		hbMisses:  make(map[ids.ID]int),
-		dead:      make(map[ids.ID]time.Duration),
-		announced: make(map[ids.ID]bool),
+		env:        env,
+		cfg:        cfg,
+		self:       env.Self(),
+		leaf:       NewLeafSet(env.Self(), cfg.LeafSetSize),
+		estVersion: -1,
+		hbMisses:   make(map[ids.ID]int),
+		dead:       make(map[ids.ID]time.Duration),
+		announced:  make(map[ids.ID]bool),
 	}
 	return n
 }
@@ -401,6 +415,15 @@ func (n *Node) Gen() int { return n.gen }
 // holds roughly members/spanFraction nodes. Moara uses the estimate to
 // cost never-queried (cold) trees.
 func (n *Node) EstimateSize() float64 {
+	if v := n.leaf.Version(); n.estVersion == v {
+		return n.estCache
+	}
+	n.estVersion = n.leaf.Version()
+	n.estCache = n.estimateSize()
+	return n.estCache
+}
+
+func (n *Node) estimateSize() float64 {
 	members := n.leaf.Members()
 	if len(members) == 0 {
 		return 1
@@ -409,8 +432,8 @@ func (n *Node) EstimateSize() float64 {
 	// members/arc extrapolates to the full ring.
 	var maxSucc, maxPred float64
 	for _, m := range members {
-		s := ids.Fraction(ringGap(n.self, m))
-		p := ids.Fraction(ringGap(m, n.self))
+		s := ringGap(n.self, m).Fraction()
+		p := ringGap(m, n.self).Fraction()
 		if s < p {
 			if s > maxSucc {
 				maxSucc = s
@@ -485,7 +508,9 @@ func (n *Node) Rejoin(bootstrap ids.ID) {
 // (Announce/AnnounceAck listings) cannot clear certificates — only the
 // node itself can refute its own obituary.
 func (n *Node) noteAlive(from ids.ID) {
-	delete(n.dead, from)
+	if len(n.dead) > 0 {
+		delete(n.dead, from)
+	}
 }
 
 // Handle processes overlay messages. It reports whether the message was
@@ -611,21 +636,27 @@ func (n *Node) handleJoinReply(m JoinReply) {
 	}
 }
 
+// knownSample lists every peer in routing state: the table's entries
+// (each id occupies exactly one slot — its common-prefix row and digit
+// column — so the table is duplicate-free), then leaf members not
+// already present via their unique table slot. Order matches the
+// pre-optimization map-based dedup: table row-major, then leaf.
 func (n *Node) knownSample() []ids.ID {
-	seen := map[ids.ID]bool{n.self: true}
-	var out []ids.ID
-	for _, id := range n.rt.Entries() {
-		if !seen[id] {
-			seen[id] = true
-			out = append(out, id)
-		}
+	if n.ksCache != nil && n.ksRT == n.rt.Version() && n.ksLeaf == n.leaf.Version() {
+		return n.ksCache
 	}
-	for _, id := range n.leaf.Members() {
-		if !seen[id] {
-			seen[id] = true
-			out = append(out, id)
+	rtEntries := n.rt.Entries()
+	members := n.leaf.Members()
+	out := make([]ids.ID, 0, len(rtEntries)+len(members))
+	out = append(out, rtEntries...)
+	for _, id := range members {
+		r := ids.CommonPrefixLen(n.self, id)
+		if r < ids.Digits && n.rt.Get(r, id.Digit(r)) == id {
+			continue
 		}
+		out = append(out, id)
 	}
+	n.ksCache, n.ksRT, n.ksLeaf = out, n.rt.Version(), n.leaf.Version()
 	return out
 }
 
@@ -677,7 +708,12 @@ func (n *Node) startHeartbeats() {
 		// representative learns its occupants again.
 		if ks := n.knownSample(); len(ks) > 0 {
 			peer := ks[n.env.Rand().Intn(len(ks))]
-			n.env.Send(peer, AnnounceAck{Known: append(ks, n.self)})
+			// Copy: ks is the shared knownSample cache (also aliased by
+			// in-flight gossip); appending into its spare capacity would
+			// write into memory other messages are reading.
+			known := make([]ids.ID, 0, len(ks)+1)
+			known = append(append(known, ks...), n.self)
+			n.env.Send(peer, AnnounceAck{Known: known})
 		}
 		n.stopHB = n.env.After(n.cfg.HeartbeatEvery, tick)
 	}

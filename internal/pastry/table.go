@@ -25,16 +25,34 @@ import (
 // position r. The zero ID marks an empty slot.
 type RoutingTable struct {
 	rows [ids.Digits][ids.Radix]ids.ID
+	// entries caches the non-empty slots (valid when entriesOK); the
+	// liveness path scans the table every heartbeat round, far more
+	// often than it changes. version counts mutations for downstream
+	// caches.
+	entries   []ids.ID
+	entriesOK bool
+	version   int
 }
+
+// Version counts table mutations since creation.
+func (t *RoutingTable) Version() int { return t.version }
 
 // Get returns the entry at (row, col); the zero ID if empty.
 func (t *RoutingTable) Get(row, col int) ids.ID { return t.rows[row][col] }
 
 // Set stores an entry.
-func (t *RoutingTable) Set(row, col int, id ids.ID) { t.rows[row][col] = id }
+func (t *RoutingTable) Set(row, col int, id ids.ID) {
+	t.rows[row][col] = id
+	t.entriesOK = false
+	t.version++
+}
 
 // Clear empties the slot at (row, col).
-func (t *RoutingTable) Clear(row, col int) { t.rows[row][col] = ids.Zero }
+func (t *RoutingTable) Clear(row, col int) {
+	t.rows[row][col] = ids.Zero
+	t.entriesOK = false
+	t.version++
+}
 
 // Row returns a copy of one table row.
 func (t *RoutingTable) Row(row int) [ids.Radix]ids.ID { return t.rows[row] }
@@ -52,6 +70,8 @@ func (t *RoutingTable) Install(owner, candidate ids.ID) bool {
 	c := candidate.Digit(r)
 	if t.rows[r][c].IsZero() {
 		t.rows[r][c] = candidate
+		t.entriesOK = false
+		t.version++
 		return true
 	}
 	return false
@@ -70,14 +90,23 @@ func (t *RoutingTable) Remove(owner, dead ids.ID) bool {
 	c := dead.Digit(r)
 	if t.rows[r][c] == dead {
 		t.rows[r][c] = ids.Zero
+		t.entriesOK = false
+		t.version++
 		return true
 	}
 	return false
 }
 
-// Entries returns every non-empty entry.
+// Entries returns every non-empty entry in row-major order. The result
+// is cached between table changes and shared: callers must treat it as
+// read-only. Rebuilds allocate a fresh backing array so a slice
+// captured before a mutation (e.g. the heartbeat sweep iterating while
+// it purges) stays intact.
 func (t *RoutingTable) Entries() []ids.ID {
-	var out []ids.ID
+	if t.entriesOK {
+		return t.entries
+	}
+	out := make([]ids.ID, 0, cap(t.entries))
 	for r := 0; r < ids.Digits; r++ {
 		for c := 0; c < ids.Radix; c++ {
 			if !t.rows[r][c].IsZero() {
@@ -85,18 +114,32 @@ func (t *RoutingTable) Entries() []ids.ID {
 			}
 		}
 	}
+	t.entries = out
+	t.entriesOK = true
 	return out
 }
 
 // LeafSet tracks the owner's closest ring neighbors: up to size entries
 // clockwise (successors) and size counter-clockwise (predecessors).
+//
+// Each side is kept sorted by ring gap from the owner, with the gaps
+// cached in a parallel slice: membership tests and inserts are binary
+// searches over precomputed gaps instead of re-deriving the 128-bit
+// ring arithmetic per comparison — the pre-optimization sort-on-every-
+// install was the single hottest path of the churn experiments (every
+// gossiped membership sample funnels through Install).
 type LeafSet struct {
 	owner ids.ID
 	size  int
-	// all holds the union of both sides, kept sorted by ring position
-	// relative to the owner (successors ascending, then predecessors).
-	succ []ids.ID // ascending ring order starting just after owner
-	pred []ids.ID // descending ring order starting just before owner
+	succ  []ids.ID // ascending ring order starting just after owner
+	pred  []ids.ID // descending ring order starting just before owner
+	// succGap[i] == ringGap(owner, succ[i]); predGap[i] ==
+	// ringGap(pred[i], owner). Maintained by Install/Remove.
+	succGap []ids.Gap
+	predGap []ids.Gap
+	// version counts membership changes; derived caches (system-size
+	// estimates) key on it.
+	version int
 }
 
 // NewLeafSet creates a leaf set keeping size nodes per side.
@@ -104,30 +147,11 @@ func NewLeafSet(owner ids.ID, size int) *LeafSet {
 	return &LeafSet{owner: owner, size: size}
 }
 
-// ringGap returns the clockwise distance from a to b on the 2^128 ring.
-func ringGap(a, b ids.ID) ids.ID {
-	// b - a mod 2^128.
-	if ids.Cmp(b, a) >= 0 {
-		return ids.Distance(b, a)
-	}
-	// 2^128 - (a - b)
-	d := ids.Distance(a, b)
-	return negID(d)
-}
+// Version counts membership changes since creation.
+func (l *LeafSet) Version() int { return l.version }
 
-func negID(a ids.ID) ids.ID {
-	// two's complement: ^a + 1
-	var out ids.ID
-	carry := byte(1)
-	for i := ids.Bytes - 1; i >= 0; i-- {
-		v := ^a[i] + carry
-		if carry == 1 && v != 0 {
-			carry = 0
-		}
-		out[i] = v
-	}
-	return out
-}
+// ringGap returns the clockwise distance from a to b on the 2^128 ring.
+func ringGap(a, b ids.ID) ids.Gap { return ids.GapCWNative(a, b) }
 
 // Install inserts candidate into the leaf set if it belongs among the
 // closest neighbors. It reports whether membership changed.
@@ -135,47 +159,62 @@ func (l *LeafSet) Install(candidate ids.ID) bool {
 	if candidate == l.owner || candidate.IsZero() || l.Contains(candidate) {
 		return false
 	}
-	insert := func(side []ids.ID, gap func(ids.ID) ids.ID) ([]ids.ID, bool) {
-		side = append(side, candidate)
-		sort.Slice(side, func(i, j int) bool {
-			return ids.Cmp(gap(side[i]), gap(side[j])) < 0
-		})
-		if len(side) > l.size {
-			if side[l.size] == candidate {
-				return side[:l.size], false
-			}
-			side = side[:l.size]
-		}
-		return side, true
+	inSucc := insertSide(&l.succ, &l.succGap, l.size, candidate, ringGap(l.owner, candidate))
+	inPred := insertSide(&l.pred, &l.predGap, l.size, candidate, ringGap(candidate, l.owner))
+	if inSucc || inPred {
+		l.version++
+		return true
 	}
-	var inSucc, inPred bool
-	l.succ, inSucc = insert(l.succ, func(x ids.ID) ids.ID { return ringGap(l.owner, x) })
-	l.pred, inPred = insert(l.pred, func(x ids.ID) ids.ID { return ringGap(x, l.owner) })
-	if !inSucc {
-		l.succ = remove(l.succ, candidate)
+	return false
+}
+
+// insertSide places candidate into one gap-sorted side, evicting the
+// farthest member when the side is full. Ring gaps are unique per
+// member, so "not strictly closer than the farthest of a full side" is
+// an O(1) rejection and everything else is a binary-search insert.
+func insertSide(side *[]ids.ID, gaps *[]ids.Gap, size int, candidate ids.ID, gap ids.Gap) bool {
+	if size <= 0 {
+		return false // a zero-capacity side keeps nobody
 	}
-	if !inPred {
-		l.pred = remove(l.pred, candidate)
+	s, g := *side, *gaps
+	if len(s) >= size && !gap.Less(g[len(g)-1]) {
+		return false
 	}
-	return inSucc || inPred
+	i := sort.Search(len(g), func(i int) bool { return gap.Less(g[i]) })
+	s = append(s, ids.ID{})
+	g = append(g, ids.Gap{})
+	copy(s[i+1:], s[i:])
+	copy(g[i+1:], g[i:])
+	s[i], g[i] = candidate, gap
+	if len(s) > size {
+		s, g = s[:size], g[:size]
+	}
+	*side, *gaps = s, g
+	return true
 }
 
 // Remove deletes a node from both sides; reports whether it was present.
 func (l *LeafSet) Remove(dead ids.ID) bool {
-	n := len(l.succ) + len(l.pred)
-	l.succ = remove(l.succ, dead)
-	l.pred = remove(l.pred, dead)
-	return len(l.succ)+len(l.pred) != n
+	a := removeSide(&l.succ, &l.succGap, dead)
+	b := removeSide(&l.pred, &l.predGap, dead)
+	if a || b {
+		l.version++
+		return true
+	}
+	return false
 }
 
-func remove(s []ids.ID, id ids.ID) []ids.ID {
-	out := s[:0]
-	for _, x := range s {
-		if x != id {
-			out = append(out, x)
+func removeSide(side *[]ids.ID, gaps *[]ids.Gap, id ids.ID) bool {
+	s, g := *side, *gaps
+	for i, x := range s {
+		if x == id {
+			copy(s[i:], s[i+1:])
+			copy(g[i:], g[i+1:])
+			*side, *gaps = s[:len(s)-1], g[:len(g)-1]
+			return true
 		}
 	}
-	return out
+	return false
 }
 
 // Contains reports whether id is in the leaf set.
@@ -194,29 +233,40 @@ func (l *LeafSet) Contains(id ids.ID) bool {
 }
 
 // Members returns all leaf-set members (both sides, deduplicated).
+// Sides are duplicate-free by construction, so deduplication is a
+// linear scan of the (small, bounded) successor side per predecessor.
 func (l *LeafSet) Members() []ids.ID {
-	seen := make(map[ids.ID]bool, len(l.succ)+len(l.pred))
 	out := make([]ids.ID, 0, len(l.succ)+len(l.pred))
-	for _, x := range l.succ {
-		if !seen[x] {
-			seen[x] = true
-			out = append(out, x)
-		}
-	}
+	out = append(out, l.succ...)
 	for _, x := range l.pred {
-		if !seen[x] {
-			seen[x] = true
+		if !idsContain(l.succ, x) {
 			out = append(out, x)
 		}
 	}
 	return out
 }
 
+func idsContain(s []ids.ID, id ids.ID) bool {
+	for _, x := range s {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
 // Closest returns the leaf-set member (or the owner) closest to key
-// under the ring metric.
+// under the ring metric. The ring minimum is unique (CloserToKey breaks
+// ties), so scanning both sides directly — duplicates included — finds
+// the same member Members() would, without the allocation.
 func (l *LeafSet) Closest(key ids.ID) ids.ID {
 	best := l.owner
-	for _, x := range l.Members() {
+	for _, x := range l.succ {
+		if ids.CloserToKey(key, x, best) {
+			best = x
+		}
+	}
+	for _, x := range l.pred {
 		if ids.CloserToKey(key, x, best) {
 			best = x
 		}
@@ -232,11 +282,9 @@ func (l *LeafSet) Covers(key ids.ID) bool {
 		return true
 	}
 	gapKey := ringGap(l.owner, key)
-	lastSucc := ringGap(l.owner, l.succ[len(l.succ)-1])
-	if ids.Cmp(gapKey, lastSucc) <= 0 {
+	if !l.succGap[len(l.succGap)-1].Less(gapKey) {
 		return true
 	}
 	gapKeyP := ringGap(key, l.owner)
-	lastPred := ringGap(l.pred[len(l.pred)-1], l.owner)
-	return ids.Cmp(gapKeyP, lastPred) <= 0
+	return !l.predGap[len(l.predGap)-1].Less(gapKeyP)
 }

@@ -9,12 +9,20 @@
 // The simulator is single-threaded: Run drains a priority queue of timed
 // events on the caller's goroutine. With a fixed seed, runs are exactly
 // reproducible.
+//
+// The event core is allocation-lean by design: message deliveries are
+// encoded directly in pooled event records (no per-message closures),
+// cancelled timers are removed from the heap immediately instead of
+// tombstoning, and per-node accounting lives in dense index-addressed
+// arrays rather than ID-keyed maps. At N=10k these paths run hundreds
+// of millions of times per experiment.
 package simnet
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
+	"reflect"
+	"sync"
 	"time"
 
 	"github.com/moara/moara/internal/ids"
@@ -61,30 +69,133 @@ type LatencyModel interface {
 // carrying k messages counts as k logical messages of their own kinds.
 // Wire counts see the transmissions themselves: the same batch counts
 // once, under the batch envelope's kind.
+//
+// Per-node counts are stored in dense arrays indexed by the network's
+// node registration order; ByNode/RecvByNode materialize the ID-keyed
+// view on demand (they are reporting APIs, not hot paths).
 type Counter struct {
 	// Total is the number of logical messages sent.
 	Total int64
-	// ByKind maps message kind (see Kinder) to logical message count.
-	ByKind map[string]int64
-	// ByNode maps sender ID to logical messages sent by that node.
-	ByNode map[ids.ID]int64
-	// RecvByNode maps receiver ID to logical messages delivered to it.
-	RecvByNode map[ids.ID]int64
 	// Wire is the number of transmissions (a coalesced batch counts
 	// once). Without coalescing, Wire == Total.
 	Wire int64
-	// WireByKind maps message kind to transmission count; batches
-	// appear under their envelope kind (e.g. "moara.batch").
-	WireByKind map[string]int64
+
+	// kinds is the per-kind ledger: a handful of distinct kind strings
+	// exist, almost always compile-time constants, so a linear scan
+	// with Go's pointer-fast string equality beats hashing the string
+	// twice per message.
+	kinds []kindCount
+
+	// sent/recv count logical messages per node index; the owning
+	// Network's idlist maps the indices back to identifiers.
+	sent []int64
+	recv []int64
+	net  *Network
 }
 
-func newCounter() *Counter {
+// kindCount is one message kind's logical and wire tallies.
+type kindCount struct {
+	kind          string
+	logical, wire int64
+}
+
+func (n *Network) newCounter() *Counter {
 	return &Counter{
-		ByKind:     make(map[string]int64),
-		ByNode:     make(map[ids.ID]int64),
-		RecvByNode: make(map[ids.ID]int64),
-		WireByKind: make(map[string]int64),
+		sent: make([]int64, len(n.envs)),
+		recv: make([]int64, len(n.envs)),
+		net:  n,
 	}
+}
+
+func (c *Counter) cell(kind string) *kindCount {
+	for i := range c.kinds {
+		if c.kinds[i].kind == kind {
+			return &c.kinds[i]
+		}
+	}
+	c.kinds = append(c.kinds, kindCount{kind: kind})
+	return &c.kinds[len(c.kinds)-1]
+}
+
+// ByKind materializes the kind -> logical message count view.
+func (c *Counter) ByKind() map[string]int64 {
+	out := make(map[string]int64, len(c.kinds))
+	for i := range c.kinds {
+		if c.kinds[i].logical != 0 {
+			out[c.kinds[i].kind] = c.kinds[i].logical
+		}
+	}
+	return out
+}
+
+// WireByKind materializes the kind -> transmission count view; batches
+// appear under their envelope kind (e.g. "moara.batch").
+func (c *Counter) WireByKind() map[string]int64 {
+	out := make(map[string]int64, len(c.kinds))
+	for i := range c.kinds {
+		if c.kinds[i].wire != 0 {
+			out[c.kinds[i].kind] = c.kinds[i].wire
+		}
+	}
+	return out
+}
+
+// Logical returns one kind's logical message count.
+func (c *Counter) Logical(kind string) int64 {
+	for i := range c.kinds {
+		if c.kinds[i].kind == kind {
+			return c.kinds[i].logical
+		}
+	}
+	return 0
+}
+
+// WireCount returns one kind's transmission count.
+func (c *Counter) WireCount(kind string) int64 {
+	for i := range c.kinds {
+		if c.kinds[i].kind == kind {
+			return c.kinds[i].wire
+		}
+	}
+	return 0
+}
+
+// ByNode materializes the sender-ID view of the per-node logical send
+// counts: one entry per node that sent at least one counted message.
+func (c *Counter) ByNode() map[ids.ID]int64 {
+	return c.materialize(c.sent)
+}
+
+// RecvByNode materializes the receiver-ID view of the per-node logical
+// delivery counts.
+func (c *Counter) RecvByNode() map[ids.ID]int64 {
+	return c.materialize(c.recv)
+}
+
+func (c *Counter) materialize(cells []int64) map[ids.ID]int64 {
+	out := make(map[ids.ID]int64, len(cells))
+	for i, v := range cells {
+		if v != 0 {
+			out[c.net.idlist[i]] = v
+		}
+	}
+	return out
+}
+
+// addSent/addRecv grow the dense arrays on demand: nodes may register
+// after the counter was created (live joins under churn).
+func (c *Counter) addSent(idx int, n int64) {
+	if idx >= len(c.sent) {
+		c.sent = append(c.sent, make([]int64, idx+1-len(c.sent))...)
+	}
+	c.sent[idx] += n
+}
+
+func (c *Counter) addRecv(idx int, n int64) {
+	if idx >= len(c.recv) {
+		c.recv = append(c.recv, make([]int64, idx+1-len(c.recv))...)
+	}
+	c.recv[idx] += n
 }
 
 // Batch marks a wire message that bundles several logical messages
@@ -99,12 +210,24 @@ type Kinder interface {
 	MsgKind() string
 }
 
+// kindCache memoizes the %T fallback of KindOf per concrete type, so a
+// message type without MsgKind costs one fmt.Sprintf per type instead
+// of one per message. sync.Map because tests run simulators in
+// parallel processes sharing the package.
+var kindCache sync.Map // reflect.Type -> string
+
 // KindOf returns the accounting label for a message.
 func KindOf(m any) string {
 	if k, ok := m.(Kinder); ok {
 		return k.MsgKind()
 	}
-	return fmt.Sprintf("%T", m)
+	t := reflect.TypeOf(m)
+	if s, ok := kindCache.Load(t); ok {
+		return s.(string)
+	}
+	s := fmt.Sprintf("%T", m)
+	kindCache.Store(t, s)
+	return s
 }
 
 // Options configure a Network.
@@ -149,15 +272,26 @@ type Options struct {
 
 // Network is a simulated network of nodes sharing one virtual clock.
 type Network struct {
-	opts    Options
-	rng     *rand.Rand
-	now     time.Duration
-	seq     int64
-	events  eventQueue
-	nodes   map[ids.ID]*nodeEnv
-	down    map[ids.ID]bool
-	busy    map[int64]time.Duration
-	counter *Counter
+	opts   Options
+	rng    *rand.Rand
+	now    time.Duration
+	seq    int64
+	events eventQueue
+	nodes  map[ids.ID]*nodeEnv
+	// envs/idlist are the dense registration-order views backing the
+	// index-addressed hot paths (counters, CPU busy state).
+	envs   []*nodeEnv
+	idlist []ids.ID
+	// busyCPU is the per-CPU busy horizon for SerializeProc, indexed by
+	// CPU number (node index when CPUOf is nil); busyOther catches
+	// out-of-range CPU keys.
+	busyCPU   []time.Duration
+	busyOther map[int64]time.Duration
+	// freeEvents recycles event records; freed events bump their gen so
+	// stale cancel closures become no-ops instead of corrupting a
+	// reused record.
+	freeEvents []*event
+	counter    *Counter
 	// Quiet suppresses accounting when true (used to exclude warm-up
 	// traffic from experiment measurements).
 	quiet bool
@@ -168,14 +302,13 @@ func New(opts Options) *Network {
 	if opts.Latency == nil {
 		opts.Latency = Fixed(time.Millisecond)
 	}
-	return &Network{
-		opts:    opts,
-		rng:     rand.New(rand.NewSource(opts.Seed)),
-		nodes:   make(map[ids.ID]*nodeEnv),
-		down:    make(map[ids.ID]bool),
-		busy:    make(map[int64]time.Duration),
-		counter: newCounter(),
+	n := &Network{
+		opts:  opts,
+		rng:   rand.New(rand.NewSource(opts.Seed)),
+		nodes: make(map[ids.ID]*nodeEnv),
 	}
+	n.counter = n.newCounter()
+	return n
 }
 
 // AddNode registers a node and returns its environment. The handler may
@@ -184,33 +317,48 @@ func (n *Network) AddNode(id ids.ID) *nodeEnv {
 	if _, ok := n.nodes[id]; ok {
 		panic(fmt.Sprintf("simnet: duplicate node %s", id.Short()))
 	}
-	env := &nodeEnv{net: n, id: id, rng: rand.New(rand.NewSource(n.opts.Seed ^ int64(idSeed(id))))}
+	env := &nodeEnv{
+		net: n,
+		id:  id,
+		idx: len(n.envs),
+		rng: rand.New(rand.NewSource(n.opts.Seed ^ int64(idSeed(id)))),
+	}
 	n.nodes[id] = env
+	n.envs = append(n.envs, env)
+	n.idlist = append(n.idlist, id)
 	return env
 }
 
 // RemoveNode permanently deletes a node; queued deliveries to it are
-// dropped on arrival.
+// dropped on arrival. Its dense index stays allocated (indices are
+// append-only), so accounting for its past traffic survives.
 func (n *Network) RemoveNode(id ids.ID) {
-	delete(n.nodes, id)
-	delete(n.down, id)
+	if env, ok := n.nodes[id]; ok {
+		env.removed = true
+		delete(n.nodes, id)
+	}
 }
 
 // SetDown marks a node crashed (true) or recovered (false). Messages to
 // a down node are counted as sent but never delivered.
 func (n *Network) SetDown(id ids.ID, down bool) {
-	n.down[id] = down
+	if env, ok := n.nodes[id]; ok {
+		env.down = down
+	}
 }
 
 // IsDown reports whether the node is currently marked down.
-func (n *Network) IsDown(id ids.ID) bool { return n.down[id] }
+func (n *Network) IsDown(id ids.ID) bool {
+	env, ok := n.nodes[id]
+	return ok && env.down
+}
 
 // Counter returns the live message counter.
 func (n *Network) Counter() *Counter { return n.counter }
 
 // ResetCounter zeroes accounting, typically after cluster warm-up.
 func (n *Network) ResetCounter() {
-	n.counter = newCounter()
+	n.counter = n.newCounter()
 }
 
 // SetQuiet enables or disables message accounting.
@@ -244,15 +392,74 @@ func (n *Network) RTT(a, b ids.ID) time.Duration {
 	return n.opts.Latency.Latency(a, b, n.now, n.rng) + n.opts.Latency.Latency(b, a, n.now, n.rng)
 }
 
+// newEvent takes a record from the pool (or allocates one).
+func (n *Network) newEvent() *event {
+	if k := len(n.freeEvents); k > 0 {
+		ev := n.freeEvents[k-1]
+		n.freeEvents = n.freeEvents[:k-1]
+		return ev
+	}
+	return &event{}
+}
+
+// freeEvent returns a record to the pool. The gen bump invalidates any
+// cancel closure still holding the record; payload fields are cleared
+// so a recycled record can never replay its previous role.
+func (n *Network) freeEvent(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.env = nil
+	ev.envTo = nil
+	ev.m = nil
+	ev.delivery = false
+	ev.logical = 0
+	ev.idx = -1
+	n.freeEvents = append(n.freeEvents, ev)
+}
+
 // Schedule runs fn at now+d on the simulator goroutine.
 func (n *Network) Schedule(d time.Duration, fn func()) (cancel func()) {
 	if d < 0 {
 		d = 0
 	}
-	ev := &event{at: n.now + d, seq: n.seq, fn: fn}
+	ev := n.newEvent()
+	ev.at = n.now + d
+	ev.seq = n.seq
+	ev.fn = fn
 	n.seq++
-	heap.Push(&n.events, ev)
-	return func() { ev.fn = nil }
+	n.events.push(ev)
+	gen := ev.gen
+	return func() { n.cancelEvent(ev, gen) }
+}
+
+// cancelEvent removes a still-pending timer from the heap. A cancel
+// arriving after the event fired (or was recycled) is a no-op.
+func (n *Network) cancelEvent(ev *event, gen uint64) {
+	if ev.gen != gen || ev.idx < 0 {
+		return
+	}
+	n.events.remove(ev.idx)
+	n.freeEvent(ev)
+}
+
+// exec runs one popped event and recycles its record. The record is
+// freed before the callback runs: the callback may schedule new timers,
+// and handing it the just-freed record is the common recycle hit.
+func (n *Network) exec(ev *event) {
+	if ev.delivery {
+		from, to, m, logical, envTo := ev.from, ev.to, ev.m, ev.logical, ev.envTo
+		n.freeEvent(ev)
+		n.deliver(from, to, m, logical, envTo)
+		return
+	}
+	fn, env := ev.fn, ev.env
+	n.freeEvent(ev)
+	if env != nil && env.down {
+		// A crashed node's timers are dropped at fire time, exactly as
+		// the pre-optimization per-timer wrapper closure did.
+		return
+	}
+	fn()
 }
 
 // Run processes events until the queue is empty or maxEvents events have
@@ -263,12 +470,10 @@ func (n *Network) Run(maxEvents int) int {
 		if maxEvents > 0 && processed >= maxEvents {
 			break
 		}
-		ev := heap.Pop(&n.events).(*event)
+		ev := n.events.pop()
 		n.now = ev.at
-		if ev.fn != nil {
-			ev.fn()
-			processed++
-		}
+		n.exec(ev)
+		processed++
 	}
 	return processed
 }
@@ -278,12 +483,10 @@ func (n *Network) Run(maxEvents int) int {
 func (n *Network) RunWhile(cond func() bool) int {
 	processed := 0
 	for n.events.Len() > 0 && cond() {
-		ev := heap.Pop(&n.events).(*event)
+		ev := n.events.pop()
 		n.now = ev.at
-		if ev.fn != nil {
-			ev.fn()
-			processed++
-		}
+		n.exec(ev)
+		processed++
 	}
 	return processed
 }
@@ -298,21 +501,19 @@ func (n *Network) RunFor(d time.Duration) {
 // clock to t.
 func (n *Network) RunUntil(t time.Duration) {
 	for n.events.Len() > 0 {
-		ev := n.events[0]
-		if ev.at > t {
+		at := n.events.q[0].at
+		if at > t {
 			break
 		}
-		heap.Pop(&n.events)
-		n.now = ev.at
-		if ev.fn != nil {
-			ev.fn()
-		}
+		ev := n.events.pop()
+		n.now = at
+		n.exec(ev)
 	}
 	n.now = t
 }
 
 // send implements message transmission between nodes.
-func (n *Network) send(from, to ids.ID, m any) {
+func (n *Network) send(from *nodeEnv, to ids.ID, m any) {
 	logical := int64(1)
 	var items []any
 	if b, ok := m.(Batch); ok {
@@ -321,25 +522,24 @@ func (n *Network) send(from, to ids.ID, m any) {
 	}
 	if !n.quiet {
 		n.counter.Wire++
-		n.counter.WireByKind[KindOf(m)]++
+		n.counter.cell(KindOf(m)).wire++
 		if items != nil {
 			for _, it := range items {
 				n.counter.Total++
-				n.counter.ByKind[KindOf(it)]++
-				n.counter.ByNode[from]++
+				n.counter.cell(KindOf(it)).logical++
 			}
 		} else {
 			n.counter.Total++
-			n.counter.ByKind[KindOf(m)]++
-			n.counter.ByNode[from]++
+			n.counter.cell(KindOf(m)).logical++
 		}
+		n.counter.addSent(from.idx, logical)
 	}
-	if n.opts.Drop != nil && n.opts.Drop(from, to, m) {
+	if n.opts.Drop != nil && n.opts.Drop(from.id, to, m) {
 		return
 	}
-	lat := n.opts.Latency.Latency(from, to, n.now, n.rng)
+	lat := n.opts.Latency.Latency(from.id, to, n.now, n.rng)
 	if n.opts.Tap != nil {
-		n.opts.Tap(from, to, m, lat)
+		n.opts.Tap(from.id, to, m, lat)
 	}
 	proc := n.opts.ProcDelay
 	if n.opts.ProcJitter > 0 {
@@ -350,34 +550,90 @@ func (n *Network) send(from, to ids.ID, m any) {
 		// The message waits for the receiver's CPU to finish earlier
 		// work, then occupies it for proc. CPUs may be shared between
 		// co-located instances (Emulab: 10 per machine).
-		cpu := int64(idSeed(to))
-		if n.opts.CPUOf != nil {
-			cpu = int64(n.opts.CPUOf(to))
-		}
-		arrival := n.now + lat
-		start := arrival
-		if b := n.busy[cpu]; b > start {
-			start = b
-		}
-		deliverAt = start + proc
-		n.busy[cpu] = deliverAt
+		deliverAt = n.serializeOn(to, n.now+lat, proc)
 	}
-	n.Schedule(deliverAt-n.now, func() {
-		dst, ok := n.nodes[to]
-		if !ok || n.down[to] || dst.handler == nil {
-			return
+	ev := n.newEvent()
+	ev.at = deliverAt
+	ev.seq = n.seq
+	ev.delivery = true
+	ev.from = from.id
+	ev.to = to
+	ev.envTo = n.nodes[to]
+	ev.m = m
+	ev.logical = logical
+	n.seq++
+	n.events.push(ev)
+}
+
+// serializeOn queues one processing occupancy on the destination's CPU
+// and returns the completion time. The CPU is the destination's own
+// dense index by default, or the configured CPU number under
+// co-location; out-of-range CPU numbers (e.g. a CPUOf returning -1 for
+// unknown nodes) and unregistered destinations fall back to a map.
+func (n *Network) serializeOn(to ids.ID, arrival, proc time.Duration) time.Duration {
+	if n.opts.CPUOf != nil {
+		cpu := n.opts.CPUOf(to)
+		if cpu >= 0 && cpu < 1<<20 {
+			return n.busyDense(cpu, arrival, proc)
 		}
-		if !n.quiet {
-			n.counter.RecvByNode[to] += logical
-		}
-		dst.handler.Handle(from, m)
-	})
+		return n.busyMap(int64(cpu), arrival, proc)
+	}
+	if dst, ok := n.nodes[to]; ok {
+		return n.busyDense(dst.idx, arrival, proc)
+	}
+	return n.busyMap(int64(idSeed(to)), arrival, proc)
+}
+
+func (n *Network) busyDense(cpu int, arrival, proc time.Duration) time.Duration {
+	if cpu >= len(n.busyCPU) {
+		n.busyCPU = append(n.busyCPU, make([]time.Duration, cpu+1-len(n.busyCPU))...)
+	}
+	start := arrival
+	if b := n.busyCPU[cpu]; b > start {
+		start = b
+	}
+	end := start + proc
+	n.busyCPU[cpu] = end
+	return end
+}
+
+func (n *Network) busyMap(key int64, arrival, proc time.Duration) time.Duration {
+	if n.busyOther == nil {
+		n.busyOther = make(map[int64]time.Duration)
+	}
+	start := arrival
+	if b := n.busyOther[key]; b > start {
+		start = b
+	}
+	end := start + proc
+	n.busyOther[key] = end
+	return end
+}
+
+// deliver completes one transmission (the delivery-event body).
+func (n *Network) deliver(from, to ids.ID, m any, logical int64, dst *nodeEnv) {
+	if dst == nil || dst.removed {
+		// Unresolved at send time (or removed since): consult the
+		// registry, which also catches a node registered between send
+		// and delivery.
+		dst = n.nodes[to]
+	}
+	if dst == nil || dst.removed || dst.down || dst.handler == nil {
+		return
+	}
+	if !n.quiet {
+		n.counter.addRecv(dst.idx, logical)
+	}
+	dst.handler.Handle(from, m)
 }
 
 // nodeEnv implements Env for one simulated node.
 type nodeEnv struct {
 	net     *Network
 	id      ids.ID
+	idx     int
+	down    bool
+	removed bool
 	rng     *rand.Rand
 	handler Handler
 }
@@ -392,20 +648,84 @@ func (e *nodeEnv) Self() ids.ID { return e.id }
 
 // Send transmits m to another node.
 func (e *nodeEnv) Send(to ids.ID, m any) {
-	if e.net.down[e.id] {
+	if e.down {
 		return // a crashed node cannot send
 	}
-	e.net.send(e.id, to, m)
+	e.net.send(e, to, m)
 }
 
-// After schedules fn on the virtual clock.
+// After schedules fn on the virtual clock. The crashed-node guard
+// rides in the event record itself rather than a per-timer wrapper
+// closure.
 func (e *nodeEnv) After(d time.Duration, fn func()) (cancel func()) {
-	return e.net.Schedule(d, func() {
-		if e.net.down[e.id] {
-			return
-		}
-		fn()
-	})
+	ev := e.defer_(d, fn)
+	n := e.net
+	gen := ev.gen
+	return func() { n.cancelEvent(ev, gen) }
+}
+
+// Defer is After without the cancellation handle: fire-and-forget
+// timers (the per-burst outbox flush) skip the cancel-closure
+// allocation entirely.
+func (e *nodeEnv) Defer(d time.Duration, fn func()) {
+	e.defer_(d, fn)
+}
+
+// Timer is a reusable cancellation slot for periodic re-armed timers
+// (epoch ticks, per-query child timeouts): re-arming writes the same
+// three words instead of allocating a fresh cancel closure per cycle.
+// The zero Timer is inert; Stop after the timer fired is a no-op.
+type Timer struct {
+	// stop is the fallback for environments without the Arm fast path.
+	stop func()
+	net  *Network
+	ev   *event
+	gen  uint64
+}
+
+// Stop cancels the timer if it has not fired.
+func (t *Timer) Stop() {
+	if t.net != nil {
+		t.net.cancelEvent(t.ev, t.gen)
+		t.net = nil
+		return
+	}
+	if t.stop != nil {
+		t.stop()
+		t.stop = nil
+	}
+}
+
+// SetFallback arms the slot with a plain cancel function (used by
+// environments that only implement After).
+func (t *Timer) SetFallback(cancel func()) {
+	t.net = nil
+	t.stop = cancel
+}
+
+// Arm schedules fn like After but records the cancellation in t,
+// allocation-free.
+func (e *nodeEnv) Arm(d time.Duration, fn func(), t *Timer) {
+	ev := e.defer_(d, fn)
+	t.net = e.net
+	t.ev = ev
+	t.gen = ev.gen
+	t.stop = nil
+}
+
+func (e *nodeEnv) defer_(d time.Duration, fn func()) *event {
+	n := e.net
+	if d < 0 {
+		d = 0
+	}
+	ev := n.newEvent()
+	ev.at = n.now + d
+	ev.seq = n.seq
+	ev.fn = fn
+	ev.env = e
+	n.seq++
+	n.events.push(ev)
+	return ev
 }
 
 // Now returns the current virtual time.
@@ -425,33 +745,146 @@ func idSeed(id ids.ID) uint64 {
 	return s
 }
 
-// event is one scheduled callback.
+// event is one scheduled callback or message delivery. Records are
+// pooled; gen guards recycled records against stale cancels.
 type event struct {
 	at  time.Duration
 	seq int64
-	fn  func()
+	idx int
+	gen uint64
+
+	// Timer events carry fn (plus the owning env for the crashed-node
+	// check, avoiding a wrapper closure per timer); delivery events
+	// carry the message fields directly, avoiding a closure allocation
+	// per message. envTo caches the destination environment resolved at
+	// send time; delivery falls back to the registry when it is missing
+	// or was removed meanwhile.
+	fn       func()
+	env      *nodeEnv
+	delivery bool
+	from, to ids.ID
+	envTo    *nodeEnv
+	m        any
+	logical  int64
 }
 
-type eventQueue []*event
+// eventQueue is a 4-ary min-heap on (at, seq), implemented concretely:
+// no container/heap interface dispatch on the comparison fast path, a
+// wider node fans the tree out to half the depth of a binary heap, and
+// the sort keys live inline in the heap slice so sift comparisons
+// never dereference event records — the event queue is the single
+// busiest data structure of a large simulation. (at, seq) pairs are
+// unique, so pop order is a strict total order — identical to any
+// other correct heap's.
+type eventQueue struct {
+	q []heapEntry
+}
 
-func (q eventQueue) Len() int { return len(q) }
+// heapEntry carries the ordering key beside the record pointer.
+type heapEntry struct {
+	at  time.Duration
+	seq int64
+	ev  *event
+}
 
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+const heapArity = 4
+
+func (h *eventQueue) Len() int { return len(h.q) }
+
+func entryLess(a, b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
 
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (h *eventQueue) push(ev *event) {
+	h.q = append(h.q, heapEntry{at: ev.at, seq: ev.seq, ev: ev})
+	h.up(len(h.q) - 1)
+}
 
-func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
+func (h *eventQueue) pop() *event {
+	q := h.q
+	ev := q[0].ev
+	last := len(q) - 1
+	q[0] = q[last]
+	q[0].ev.idx = 0
+	q[last] = heapEntry{}
+	h.q = q[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	ev.idx = -1
 	return ev
+}
+
+// remove deletes the element at position i (timer cancellation).
+func (h *eventQueue) remove(i int) {
+	q := h.q
+	last := len(q) - 1
+	ev := q[i].ev
+	if i != last {
+		q[i] = q[last]
+		q[i].ev.idx = i
+	}
+	q[last] = heapEntry{}
+	h.q = q[:last]
+	if i != last {
+		if !h.downFrom(i) {
+			h.up(i)
+		}
+	}
+	ev.idx = -1
+}
+
+func (h *eventQueue) up(i int) {
+	q := h.q
+	e := q[i]
+	for i > 0 {
+		p := (i - 1) / heapArity
+		if !entryLess(e, q[p]) {
+			break
+		}
+		q[i] = q[p]
+		q[i].ev.idx = i
+		i = p
+	}
+	q[i] = e
+	e.ev.idx = i
+}
+
+func (h *eventQueue) down(i int) { h.downFrom(i) }
+
+// downFrom sifts i toward the leaves; it reports whether the element
+// moved (the remove path falls back to sifting up when it did not).
+func (h *eventQueue) downFrom(i int) bool {
+	q := h.q
+	n := len(q)
+	e := q[i]
+	start := i
+	for {
+		first := i*heapArity + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + heapArity
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if entryLess(q[c], q[best]) {
+				best = c
+			}
+		}
+		if !entryLess(q[best], e) {
+			break
+		}
+		q[i] = q[best]
+		q[i].ev.idx = i
+		i = best
+	}
+	q[i] = e
+	e.ev.idx = i
+	return i > start
 }

@@ -313,20 +313,20 @@ func TestBatchAccounting(t *testing.T) {
 	if c.Wire != 2 {
 		t.Errorf("Wire = %d, want 2", c.Wire)
 	}
-	if c.ByKind["moara.epoch"] != 2 || c.ByKind["moara.cancel"] != 1 || c.ByKind["moara.status"] != 1 {
-		t.Errorf("logical ByKind = %v", c.ByKind)
+	if c.Logical("moara.epoch") != 2 || c.Logical("moara.cancel") != 1 || c.Logical("moara.status") != 1 {
+		t.Errorf("logical ByKind = %v", c.ByKind())
 	}
-	if c.ByKind["test.batch"] != 0 {
-		t.Errorf("batch envelope leaked into logical counts: %v", c.ByKind)
+	if c.Logical("test.batch") != 0 {
+		t.Errorf("batch envelope leaked into logical counts: %v", c.ByKind())
 	}
-	if c.WireByKind["test.batch"] != 1 || c.WireByKind["moara.status"] != 1 {
-		t.Errorf("WireByKind = %v", c.WireByKind)
+	if c.WireCount("test.batch") != 1 || c.WireCount("moara.status") != 1 {
+		t.Errorf("WireByKind = %v", c.WireByKind())
 	}
-	if c.ByNode[a] != 4 {
-		t.Errorf("ByNode[a] = %d, want 4", c.ByNode[a])
+	if c.ByNode()[a] != 4 {
+		t.Errorf("ByNode[a] = %d, want 4", c.ByNode()[a])
 	}
-	if c.RecvByNode[b] != 4 {
-		t.Errorf("RecvByNode[b] = %d, want 4", c.RecvByNode[b])
+	if c.RecvByNode()[b] != 4 {
+		t.Errorf("RecvByNode[b] = %d, want 4", c.RecvByNode()[b])
 	}
 	if delivered != 4 {
 		t.Errorf("delivered items = %d, want 4", delivered)

@@ -12,6 +12,7 @@ import (
 	"github.com/moara/moara/internal/core"
 	"github.com/moara/moara/internal/ids"
 	"github.com/moara/moara/internal/pastry"
+	"github.com/moara/moara/internal/simnet"
 	"github.com/moara/moara/internal/value"
 )
 
@@ -141,6 +142,28 @@ func TestGobRoundTripAllWireTypes(t *testing.T) {
 	for _, wt := range wireTypes {
 		if !covered[reflect.TypeOf(wt)] {
 			t.Errorf("registered wire type %T has no round-trip sample; add one to this sweep", wt)
+		}
+	}
+}
+
+// TestWireTypesHaveMsgKind asserts that every envelope-level wire type
+// labels itself for accounting: simnet.KindOf's %T fallback is cached
+// per type, but hot-path messages should never rely on it — a new wire
+// type without MsgKind would silently bill under its Go type name and
+// dodge the "moara."/"overlay." accounting prefixes the experiments
+// aggregate by. Aggregation states ride inside messages and are never
+// counted individually, so they are exempt.
+func TestWireTypesHaveMsgKind(t *testing.T) {
+	for _, wt := range wireTypes {
+		if _, isState := wt.(aggregate.State); isState {
+			continue
+		}
+		if _, isValue := wt.(value.Value); isValue {
+			// Attribute values are payload fields, not envelopes.
+			continue
+		}
+		if _, ok := wt.(simnet.Kinder); !ok {
+			t.Errorf("wire type %T does not implement MsgKind()", wt)
 		}
 	}
 }
