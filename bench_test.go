@@ -12,6 +12,7 @@ package moara
 import (
 	"io"
 	"testing"
+	"time"
 
 	"github.com/moara/moara/internal/experiments"
 )
@@ -225,6 +226,50 @@ func BenchmarkChurn(b *testing.B) {
 			N: 200, PerEpoch: []float64{0, 0.01}, Epochs: 20,
 		})
 	})
+}
+
+// BenchmarkScaleShards regenerates the sharded-scheduler sweep at
+// smoke scale: shards=1 vs shards=4 on the standard workload, plus a
+// larger headline row. Wall-clock tracks the scheduler itself; the
+// virtual-time columns must be identical across shard counts.
+func BenchmarkScaleShards(b *testing.B) {
+	runBench(b, func() *experiments.Table {
+		return experiments.RunScaleShards(experiments.ScaleShardsOptions{
+			N: 2000, Shards: []int{1, 4}, BigN: 5000, BigShards: 4, Epochs: 3,
+		})
+	})
+}
+
+// BenchmarkShardedGroupedQuery is BenchmarkGroupedQueryTurnaround on
+// the sharded scheduler through the public API: a warmed `group by`
+// query at 512 nodes split across 4 shards under the pairwise WAN
+// model. Compare against the classic path with benchstat.
+func BenchmarkShardedGroupedQuery(b *testing.B) {
+	c := NewSimCluster(512, WithShards(4), WithPairwiseModel(5*time.Millisecond, 3*time.Millisecond))
+	for i := 0; i < c.Size(); i++ {
+		c.SetAttr(i, "slice", Str([]string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l", "m", "n", "o", "p"}[i%16]))
+		c.SetAttr(i, "mem", Float(float64(i%100)))
+	}
+	req, err := ParseRequest("avg(mem) group by slice")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Execute(0, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := c.Execute(0, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Groups) != 16 {
+			b.Fatalf("groups = %d", len(res.Groups))
+		}
+	}
 }
 
 // BenchmarkGroupedQueryTurnaround measures end-to-end turnaround of a

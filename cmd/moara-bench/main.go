@@ -24,10 +24,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
+	"strings"
 	"time"
 
 	"github.com/moara/moara/internal/experiments"
@@ -175,7 +177,34 @@ var figures = []struct {
 		}
 		return experiments.RunScale(o)
 	}},
+	{"scaleshards", "sharded-scheduler sweep: shard counts at N=10k + the N=100k row", func(p string) *experiments.Table {
+		o := experiments.ScaleShardsOptions{}
+		switch p {
+		case "quick":
+			// CI smoke: the sharded engine end to end, seconds not
+			// minutes.
+			o = experiments.ScaleShardsOptions{
+				N: 2000, Shards: []int{1, 4}, BigN: 5000, BigShards: 4, Epochs: 3,
+			}
+		case "scale":
+			// Defaults: shard sweep at N=10000 plus the N=100000 row.
+		default: // paper
+			o = experiments.ScaleShardsOptions{
+				N: 5000, Shards: []int{1, 2, 4}, BigN: 20000, BigShards: 4,
+			}
+		}
+		if *shardsFlag > 0 {
+			o = o.Defaults()
+			o.Shards = []int{1, *shardsFlag}
+			o.BigShards = *shardsFlag
+		}
+		return experiments.RunScaleShards(o)
+	}},
 }
+
+// shardsFlag overrides the shard counts the scaleshards sweep compares
+// (the sweep becomes {1, K} and the headline row runs at K).
+var shardsFlag = flag.Int("shards", 0, "override the scaleshards shard count (sweep {1,K}, headline row at K)")
 
 // benchResult is one experiment's machine-readable record.
 type benchResult struct {
@@ -188,13 +217,31 @@ type benchResult struct {
 	Note    string     `json:"note"`
 }
 
-// benchFile is the BENCH_<profile>.json schema.
+// benchFile is the BENCH_<profile>.json schema. SchemaVersion 2 added
+// the run-environment stamp (GOMAXPROCS, shard override, git commit):
+// a baseline measured at one core or one shard count is not comparable
+// to a run at another, and the file now says which it was. Version-1
+// files (no schema_version field) still load for -compare.
 type benchFile struct {
-	Profile     string        `json:"profile"`
-	GoVersion   string        `json:"go_version"`
-	GOOS        string        `json:"goos"`
-	GOARCH      string        `json:"goarch"`
-	Experiments []benchResult `json:"experiments"`
+	SchemaVersion int           `json:"schema_version"`
+	Profile       string        `json:"profile"`
+	GoVersion     string        `json:"go_version"`
+	GOOS          string        `json:"goos"`
+	GOARCH        string        `json:"goarch"`
+	GOMAXPROCS    int           `json:"gomaxprocs"`
+	Shards        int           `json:"shards,omitempty"`
+	GitCommit     string        `json:"git_commit,omitempty"`
+	Experiments   []benchResult `json:"experiments"`
+}
+
+// gitCommit best-effort resolves the working tree's HEAD for the
+// metadata stamp; bench runs outside a checkout just omit it.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 func main() {
@@ -204,6 +251,7 @@ func main() {
 	jsonPath := flag.String("json-out", "", "override the -json output path")
 	compare := flag.String("compare", "", "baseline BENCH_*.json; exit non-zero on wall-clock regression")
 	regress := flag.Float64("regress", 0.20, "relative wall-clock regression tolerance for -compare")
+	regressAllocs := flag.Float64("regress-allocs", 0, "relative allocation-count regression tolerance for -compare (0 disables the gate)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments")
 	memprofile := flag.String("memprofile", "", "write a pprof allocation profile after the run")
 	traceFile := flag.String("trace", "", "write a runtime execution trace of the run")
@@ -273,20 +321,25 @@ func main() {
 	}
 
 	out := benchFile{
-		Profile:   *profile,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
+		SchemaVersion: 2,
+		Profile:       *profile,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Shards:        *shardsFlag,
+		GitCommit:     gitCommit(),
 	}
 	for _, f := range figures {
 		if !selected[f.name] {
 			continue
 		}
-		// The scale profile only re-parameterizes the scale sweep; any
-		// other figure runs (and is labeled) at quick parameters rather
-		// than stamping quick-grade data with a distinct profile name.
+		// The scale profile only re-parameterizes the scaling sweeps;
+		// any other figure runs (and is labeled) at quick parameters
+		// rather than stamping quick-grade data with a distinct
+		// profile name.
 		effective := *profile
-		if *profile == "scale" && f.name != "scale" {
+		if *profile == "scale" && f.name != "scale" && f.name != "scaleshards" {
 			effective = "quick"
 		}
 		var msBefore runtime.MemStats
@@ -346,7 +399,7 @@ func main() {
 	}
 
 	if *compare != "" {
-		if failed := compareBaseline(*compare, out, *regress); failed {
+		if failed := compareBaseline(*compare, out, *regress, *regressAllocs); failed {
 			os.Exit(1)
 		}
 	}
@@ -354,10 +407,12 @@ func main() {
 
 // compareBaseline gates wall-clock against a committed baseline: any
 // experiment present in both runs that got more than the tolerance
-// slower fails the run. Allocation counts are reported but not gated
-// (they are near-deterministic; wall-clock is the noisy one, so it
-// carries the explicit tolerance).
-func compareBaseline(path string, current benchFile, tolerance float64) (failed bool) {
+// slower fails the run. Allocation counts are near-deterministic, so
+// they carry their own (much tighter) opt-in tolerance: pass
+// -regress-allocs to gate on them too; at 0 they are reported only,
+// since cross-environment runs (different GOMAXPROCS or shard counts,
+// see the schema stamp) legitimately allocate differently.
+func compareBaseline(path string, current benchFile, tolerance, allocTolerance float64) (failed bool) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "compare: %v\n", err)
@@ -384,6 +439,11 @@ func compareBaseline(path string, current benchFile, tolerance float64) (failed 
 		status := "ok"
 		if ratio > 1+tolerance {
 			status = "REGRESSION"
+			failed = true
+		}
+		if allocTolerance > 0 && b.Allocs > 0 &&
+			float64(e.Allocs) > float64(b.Allocs)*(1+allocTolerance) {
+			status = "ALLOC REGRESSION"
 			failed = true
 		}
 		fmt.Fprintf(os.Stderr, "compare %-12s wall %8.1fms -> %8.1fms (%.2fx)  allocs %d -> %d  [%s]\n",
@@ -419,6 +479,8 @@ flags:
   -json-out PATH               override the -json path
   -compare BASELINE.json       fail on >-regress wall-clock regression
   -regress FRAC                regression tolerance for -compare (default 0.20)
+  -regress-allocs FRAC         also gate allocation counts at FRAC (0 = report only)
+  -shards K                    scaleshards only: sweep {1,K}, headline row at K
   -cpuprofile FILE             write pprof CPU profile (feed to go tool pprof)
   -memprofile FILE             write pprof allocation profile
   -trace FILE                  write runtime execution trace

@@ -55,6 +55,20 @@ type Options struct {
 	// JoinSpacing is the virtual-time gap between protocol joins
 	// (default 200ms).
 	JoinSpacing time.Duration
+	// Shards >= 2 runs the simulation on simnet's sharded
+	// conservative-lookahead scheduler: nodes are partitioned across
+	// Shards event heaps that drain lookahead windows in parallel.
+	// Deterministic for a given seed at any shard/worker count, but
+	// incompatible with SerializeProc, InstancesPerMachine > 1, and
+	// Tap (simnet rejects those at construction). 0 or 1 keeps the
+	// classic single-heap scheduler.
+	Shards int
+	// ShardWorkers caps OS-thread parallelism for sharded runs
+	// (0 = GOMAXPROCS, 1 = serial; results identical either way).
+	ShardWorkers int
+	// Lookahead overrides the sharded scheduler's window size (see
+	// simnet.Options.Lookahead).
+	Lookahead time.Duration
 }
 
 // Cluster is a complete simulated deployment.
@@ -98,6 +112,9 @@ func New(opts Options) *Cluster {
 		ProcJitter:    opts.ProcJitter,
 		SerializeProc: opts.SerializeProc,
 		Tap:           opts.Tap,
+		Shards:        opts.Shards,
+		ShardWorkers:  opts.ShardWorkers,
+		Lookahead:     opts.Lookahead,
 	}
 	if opts.InstancesPerMachine > 1 {
 		machineOf := make(map[ids.ID]int, opts.N)

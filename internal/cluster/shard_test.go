@@ -1,0 +1,185 @@
+package cluster
+
+// Counter-accounting properties of the sharded simnet at the cluster
+// level: the full message accounting (Total/Wire, per-kind, per-node
+// sent and received) must not depend on how nodes are partitioned
+// across shards, and the per-node ledgers must always sum to the
+// totals. Two regimes are covered:
+//
+//   - sharded-vs-sharded (TestShardCountInvariantCounters): the window
+//     schedule is derived from global event times and the horizon,
+//     never from the partition, so ANY workload — including the
+//     rng-consuming LAN latency model and cond-driven pumping via
+//     Execute/RunWhile that sit outside the classic-vs-sharded
+//     equivalence envelope — must account identically at shards=2,3,4.
+//   - classic-vs-sharded (TestShardedCounterMatchesClassic): inside
+//     the envelope (Pairwise latencies, RunFor-only pumping) the
+//     sharded ledgers must also match the classic scheduler's.
+//
+// See simnet/shard.go for the envelope; experiments/shard_equiv_test.go
+// locks full byte-equivalence of transcripts inside it.
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/moara/moara/internal/core"
+	"github.com/moara/moara/internal/ids"
+	"github.com/moara/moara/internal/pastry"
+	"github.com/moara/moara/internal/simnet"
+)
+
+// counterDigest flattens every ledger a Counter exposes into one
+// comparable string. fmt sorts map keys, so per-kind maps print
+// deterministically; per-node maps are sorted explicitly by id.
+func counterDigest(c *simnet.Counter) string {
+	perNode := func(m map[ids.ID]int64) string {
+		keys := make([]ids.ID, 0, len(m))
+		for id := range m {
+			keys = append(keys, id)
+		}
+		sort.Slice(keys, func(i, j int) bool { return ids.Less(keys[i], keys[j]) })
+		var b []byte
+		for _, id := range keys {
+			b = fmt.Appendf(b, "%s=%d ", id.Short(), m[id])
+		}
+		return string(b)
+	}
+	return fmt.Sprintf("total=%d wire=%d\nbykind=%v\nwirebykind=%v\nbynode=%s\nrecvbynode=%s",
+		c.Total, c.Wire, c.ByKind(), c.WireByKind(),
+		perNode(c.ByNode()), perNode(c.RecvByNode()))
+}
+
+// checkLedgerSums asserts the internal consistency property that holds
+// for every counter regardless of scheduler: per-node sent counts sum
+// to Total, and per-kind counts do too (logical and wire).
+func checkLedgerSums(t *testing.T, label string, c *simnet.Counter) {
+	t.Helper()
+	var byNode, byKind, wireByKind int64
+	for _, n := range c.ByNode() {
+		byNode += n
+	}
+	for _, n := range c.ByKind() {
+		byKind += n
+	}
+	for _, n := range c.WireByKind() {
+		wireByKind += n
+	}
+	if byNode != c.Total {
+		t.Errorf("%s: sum(ByNode) = %d, Total = %d", label, byNode, c.Total)
+	}
+	if byKind != c.Total {
+		t.Errorf("%s: sum(ByKind) = %d, Total = %d", label, byKind, c.Total)
+	}
+	if wireByKind != c.Wire {
+		t.Errorf("%s: sum(WireByKind) = %d, Wire = %d", label, wireByKind, c.Wire)
+	}
+}
+
+// runShardCounterWorkload drives a seeded mixed workload — one-shot
+// queries through the cond-driven Execute path, a standing query, and
+// a kill — and returns the counter digest. The LAN model draws from
+// the per-sender rng streams, exercising the shard-count independence
+// of latency generation.
+func runShardCounterWorkload(t *testing.T, shards int) (string, *simnet.Counter) {
+	t.Helper()
+	c := New(Options{
+		N:       72,
+		Seed:    29,
+		Latency: simnet.LAN(simnet.LANConfig{}),
+		Shards:  shards,
+		Overlay: pastry.Config{HeartbeatEvery: 150 * time.Millisecond, HeartbeatMiss: 3},
+	})
+	for i, n := range c.Nodes {
+		n.Store().SetInt("a", int64(i%13))
+		if i%3 == 0 {
+			n.Store().SetBool("service_x", true)
+		}
+	}
+	if _, err := c.Execute(0, sumReq("")); err != nil {
+		t.Fatalf("shards=%d execute: %v", shards, err)
+	}
+	if _, err := c.Execute(5, sumReq("service_x = true")); err != nil {
+		t.Fatalf("shards=%d filtered execute: %v", shards, err)
+	}
+	req := sumReq("")
+	req.Period = 120 * time.Millisecond
+	sid, err := c.Subscribe(1, req, func(core.Sample) {})
+	if err != nil {
+		t.Fatalf("shards=%d subscribe: %v", shards, err)
+	}
+	c.RunFor(700 * time.Millisecond)
+	c.Kill(40)
+	c.RunFor(900 * time.Millisecond)
+	c.Unsubscribe(1, sid)
+	c.RunFor(300 * time.Millisecond)
+	ctr := c.Net.Counter()
+	return counterDigest(ctr), ctr
+}
+
+// TestShardCountInvariantCounters proves the accounting is a pure
+// function of the workload, not of the partition: shards=2,3,4 agree
+// ledger-for-ledger on a workload that includes rng-drawn latencies
+// and cond-driven pumping.
+func TestShardCountInvariantCounters(t *testing.T) {
+	ref, refCtr := runShardCounterWorkload(t, 2)
+	checkLedgerSums(t, "shards=2", refCtr)
+	if refCtr.Total == 0 || refCtr.Wire == 0 {
+		t.Fatal("workload produced no traffic")
+	}
+	for _, shards := range []int{3, 4} {
+		got, ctr := runShardCounterWorkload(t, shards)
+		checkLedgerSums(t, fmt.Sprintf("shards=%d", shards), ctr)
+		if got != ref {
+			t.Errorf("shards=%d accounting diverged from shards=2:\n got: %s\nwant: %s",
+				shards, got, ref)
+		}
+	}
+}
+
+// shardedClassicWorkload is an envelope-respecting workload (Pairwise
+// latencies, RunFor-only pumping, queries injected directly) shared by
+// the classic and sharded runs of TestShardedCounterMatchesClassic.
+func shardedClassicWorkload(t *testing.T, shards int) (string, *simnet.Counter) {
+	t.Helper()
+	c := New(Options{
+		N:       64,
+		Seed:    41,
+		Latency: simnet.Pairwise(8*time.Millisecond, 5*time.Millisecond, 41),
+		Shards:  shards,
+		Overlay: pastry.Config{HeartbeatEvery: 150 * time.Millisecond, HeartbeatMiss: 3},
+	})
+	for i, n := range c.Nodes {
+		n.Store().SetInt("a", int64(i))
+	}
+	c.Nodes[3].Execute(sumReq(""), func(core.Result, error) {})
+	c.RunFor(1 * time.Second)
+	req := sumReq("")
+	req.Period = 130 * time.Millisecond
+	sid, err := c.Subscribe(2, req, func(core.Sample) {})
+	if err != nil {
+		t.Fatalf("shards=%d subscribe: %v", shards, err)
+	}
+	c.RunFor(750 * time.Millisecond)
+	c.Unsubscribe(2, sid)
+	c.RunFor(250 * time.Millisecond)
+	ctr := c.Net.Counter()
+	return counterDigest(ctr), ctr
+}
+
+// TestShardedCounterMatchesClassic checks the sharded accounting
+// against the classic scheduler inside the equivalence envelope.
+func TestShardedCounterMatchesClassic(t *testing.T) {
+	ref, refCtr := shardedClassicWorkload(t, 1)
+	checkLedgerSums(t, "classic", refCtr)
+	for _, shards := range []int{2, 4} {
+		got, ctr := shardedClassicWorkload(t, shards)
+		checkLedgerSums(t, fmt.Sprintf("shards=%d", shards), ctr)
+		if got != ref {
+			t.Errorf("shards=%d accounting diverged from classic:\n got: %s\nwant: %s",
+				shards, got, ref)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"github.com/moara/moara/internal/cluster"
+	"github.com/moara/moara/internal/core"
+	"github.com/moara/moara/internal/metrics"
+	"github.com/moara/moara/internal/simnet"
+	"github.com/moara/moara/internal/workload"
+)
+
+// ScaleShardsOptions parameterize the sharded-scheduler scaling study:
+// the standard monitoring workload on a WAN-like draw-free latency
+// model, swept over shard counts at a fixed N (the speedup block) and
+// then run once at a headline system size that the single-heap
+// scheduler was never asked to carry. Virtual-time results are
+// partition-independent by construction — the table prints the oneshot
+// turnaround so every row visibly agrees — and the harness-side
+// columns (wall, RSS, events/sec) are what the sharding is for.
+type ScaleShardsOptions struct {
+	// N is the speedup-block system size (default 10000).
+	N int
+	// Shards are the shard counts swept at N (default 1, 2, 4, 8).
+	// Shard count 1 is the classic single-heap scheduler.
+	Shards []int
+	// BigN is the headline size run once at BigShards (default
+	// 100000; 0 disables the row).
+	BigN int
+	// BigShards is the shard count for the BigN row (default 8).
+	BigShards int
+	// Workers caps the worker goroutines per run (default: one per
+	// shard; the effective count is also reported in the note).
+	Workers int
+	Slices  int           // distinct group-by keys (default 16)
+	Epochs  int           // measured standing epochs per size (default 10)
+	Period  time.Duration // epoch length (default 200ms)
+	Seed    int64
+}
+
+// Defaults fills unset parameters.
+func (o ScaleShardsOptions) Defaults() ScaleShardsOptions {
+	if o.N == 0 {
+		o.N = 10000
+	}
+	if len(o.Shards) == 0 {
+		o.Shards = []int{1, 2, 4, 8}
+	}
+	if o.BigN == 0 {
+		o.BigN = 100000
+	}
+	if o.BigShards == 0 {
+		o.BigShards = 8
+	}
+	if o.Slices == 0 {
+		o.Slices = 16
+	}
+	if o.Epochs == 0 {
+		o.Epochs = 10
+	}
+	if o.Period == 0 {
+		o.Period = 200 * time.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// RunScaleShards sweeps shard counts at N (reporting wall-clock
+// speedup over the shards=1 row) and finishes with the BigN row. The
+// environment is the WAN-like Pairwise model rather than the Emulab
+// one: conservative lookahead needs a positive minimum latency, and
+// the serialized-CPU processing model is exactly the global ordering
+// constraint sharding removes.
+func RunScaleShards(opt ScaleShardsOptions) *Table {
+	opt = opt.Defaults()
+	t := &Table{
+		Title: "Sharded scheduler scaling: shard-count sweep + headline N",
+		Note: fmt.Sprintf("%d slices (Zipf), epoch=%v, %d standing epochs; speedup is wall(shards=1 at N=%d)/wall; GOMAXPROCS=%d",
+			opt.Slices, opt.Period, opt.Epochs, opt.N, runtime.GOMAXPROCS(0)),
+		Columns: []string{"N", "shards", "workers", "oneshot_ms", "msgs", "wall", "msgs_per_sec", "peak_rss_mb", "speedup"},
+	}
+	var base time.Duration
+	for _, shards := range opt.Shards {
+		row := runScaleShardsSize(opt.N, shards, opt)
+		if shards == opt.Shards[0] {
+			base = row.wall
+		}
+		speedup := "-"
+		if base > 0 && shards != opt.Shards[0] {
+			speedup = fmt.Sprintf("%.2fx", float64(base)/float64(row.wall))
+		}
+		t.AddRow(row.cells(speedup)...)
+		runtime.GC()
+	}
+	if opt.BigN > 0 {
+		row := runScaleShardsSize(opt.BigN, opt.BigShards, opt)
+		t.AddRow(row.cells("-")...)
+		runtime.GC()
+	}
+	return t
+}
+
+type scaleShardsRow struct {
+	n, shards, workers int
+	oneshotMs          string
+	msgs               int64
+	wall               time.Duration
+	rssMB              float64
+}
+
+func (r scaleShardsRow) cells(speedup string) []string {
+	perSec := "-"
+	if r.wall > 0 {
+		perSec = fmt.Sprintf("%.0f", float64(r.msgs)/r.wall.Seconds())
+	}
+	return []string{
+		fmt.Sprint(r.n), fmt.Sprint(r.shards), fmt.Sprint(r.workers),
+		r.oneshotMs, fmt.Sprint(r.msgs), r.wall.Round(10 * time.Millisecond).String(),
+		perSec, fmt.Sprintf("%.0f", r.rssMB), speedup,
+	}
+}
+
+// runScaleShardsSize runs the one-shot + standing workload once at the
+// given size and shard count, measuring the harness itself.
+func runScaleShardsSize(n, shards int, opt ScaleShardsOptions) scaleShardsRow {
+	workers := opt.Workers
+	if workers == 0 {
+		workers = shards
+	}
+	start := time.Now()
+	c := cluster.New(cluster.Options{
+		N:            n,
+		Seed:         opt.Seed,
+		Latency:      simnet.Pairwise(15*time.Millisecond, 10*time.Millisecond, opt.Seed),
+		ProcDelay:    300 * time.Microsecond,
+		Shards:       shards,
+		ShardWorkers: workers,
+		// Long TTL keeps lease renewals out of the measurement window,
+		// and membership is static with heartbeats off — both as in
+		// RunScale: with heartbeats on, epidemic peer discovery sends
+		// O(N^2) announces, which at N=100000 is the whole budget.
+		Node: core.Config{SubTTL: 10 * time.Minute},
+	})
+	rng := rand.New(rand.NewSource(opt.Seed + 77))
+	slices := workload.AssignSlices(rng, n, opt.Slices)
+	for i, nd := range c.Nodes {
+		nd.Store().SetString("slice", slices[i])
+		nd.Store().SetFloat("mem_util", math.Mod(float64(i)*13.7, 100))
+	}
+	groupedReq, err := core.ParseRequest("avg(mem_util) group by slice")
+	if err != nil {
+		panic(err)
+	}
+	res, err := c.Execute(0, groupedReq)
+	if err != nil {
+		panic(err)
+	}
+
+	sreq := groupedReq
+	sreq.Period = opt.Period
+	warm := false
+	sid, err := c.Subscribe(0, sreq, func(s core.Sample) {
+		if !s.ColdStart {
+			warm = true
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; !warm && i < 64; i++ {
+		c.RunFor(opt.Period)
+	}
+	if !warm {
+		panic("scaleshards: standing subscription never warmed")
+	}
+	c.RunFor(time.Duration(opt.Epochs) * opt.Period)
+	c.Unsubscribe(0, sid)
+	c.RunFor(2 * opt.Period)
+
+	return scaleShardsRow{
+		n: n, shards: shards, workers: workers,
+		oneshotMs: metrics.FormatMs(res.Stats.TotalTime),
+		msgs:      c.Net.Counter().Total,
+		wall:      time.Since(start),
+		rssMB:     peakRSSMB(),
+	}
+}

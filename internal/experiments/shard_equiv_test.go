@@ -1,0 +1,182 @@
+package experiments
+
+// Cross-shard equivalence lock for the sharded simnet scheduler: the
+// same seeded full-stack scenario — standing queries, one-shot
+// queries, churn, repair — must produce byte-identical transcripts
+// (every Sample, every Result, virtual-time latencies, and the full
+// message accounting) at shards=1 (the classic scheduler) and at
+// shards=2/4, serial and parallel workers alike. This is the
+// cluster-level counterpart of simnet's TestShardedEchoEquivalence.
+//
+// The scenario is written inside the equivalence envelope the sharded
+// engine documents (see simnet/shard.go):
+//
+//   - the Pairwise latency model: draw-free, so the classic engine's
+//     global rng stream and the sharded engine's per-sender streams
+//     trivially agree, and nanosecond-hashed arrival times keep
+//     same-instant cross-origin collisions — where the two engines'
+//     tie-breaks may legally differ — out of the run;
+//   - no ProcJitter, no SerializeProc, no Tap;
+//   - time-driven pumping only (RunFor): the classic RunWhile stops
+//     mid-window where the sharded scheduler completes the window, so
+//     cond-driven runs may process different trailing event sets.
+//     One-shot queries are injected directly and harvested after a
+//     fixed virtual-time budget instead of going through
+//     Cluster.Execute.
+
+import (
+	"testing"
+	"time"
+
+	"github.com/moara/moara/internal/cluster"
+	"github.com/moara/moara/internal/core"
+	"github.com/moara/moara/internal/pastry"
+	"github.com/moara/moara/internal/simnet"
+	"github.com/moara/moara/internal/value"
+)
+
+// shardEquivOptions is the scenario's cluster configuration at a given
+// shard/worker count.
+func shardEquivOptions(shards, workers int) cluster.Options {
+	period := 200 * time.Millisecond
+	return cluster.Options{
+		N:            96,
+		Seed:         17,
+		Latency:      simnet.Pairwise(15*time.Millisecond, 10*time.Millisecond, 17),
+		ProcDelay:    300 * time.Microsecond,
+		Shards:       shards,
+		ShardWorkers: workers,
+		Node: core.Config{
+			ChildTimeout:     2 * period,
+			QueryTimeout:     10 * period,
+			SubTTL:           8 * period,
+			SubRenewInterval: 2 * period,
+		},
+		Overlay: pastry.Config{
+			HeartbeatEvery: period / 2,
+			HeartbeatMiss:  2,
+		},
+	}
+}
+
+// runOneShot injects a one-shot query from node 0 and pumps a fixed
+// virtual-time budget for the answer (RunFor, not RunWhile — see the
+// file comment).
+func runOneShot(tr *transcript, c *cluster.Cluster, q string) {
+	req, err := core.ParseRequest(q)
+	if err != nil {
+		tr.logf("query %q parse error: %v", q, err)
+		return
+	}
+	var (
+		res  core.Result
+		rerr error
+		done bool
+	)
+	c.Nodes[0].Execute(req, func(r core.Result, e error) {
+		res, rerr, done = r, e, true
+	})
+	c.RunFor(2 * time.Second)
+	switch {
+	case !done:
+		tr.logf("query %q incomplete after budget", q)
+	case rerr != nil:
+		tr.logf("query %q error: %v", q, rerr)
+	default:
+		tr.logResult("query "+q, res)
+	}
+}
+
+// scenarioSharded exercises the full stack through a fixed schedule:
+// one-shot queries, two standing queries with distinct periods, a
+// kill/join/recover script under heartbeats, and a final accounting
+// snapshot.
+func scenarioSharded(tr *transcript, shards, workers int) {
+	c := cluster.New(shardEquivOptions(shards, workers))
+	seedEquivNodes(c)
+	period := 200 * time.Millisecond
+
+	runOneShot(tr, c, "avg(mem)")
+	runOneShot(tr, c, "sum(mem) where apache = true and slice = alpha")
+	runOneShot(tr, c, "avg(load) group by slice")
+	runOneShot(tr, c, "top3(mem) where slice = beta")
+
+	req, err := core.ParseRequest("avg(mem) group by slice")
+	if err != nil {
+		tr.logf("parse error: %v", err)
+		return
+	}
+	req.Period = period
+	sid, err := c.Subscribe(0, req, func(s core.Sample) { tr.logSample("standing", s) })
+	if err != nil {
+		tr.logf("subscribe error: %v", err)
+		return
+	}
+	sreq, err := core.ParseRequest("count(*) where apache = true")
+	if err != nil {
+		tr.logf("parse error: %v", err)
+		return
+	}
+	sreq.Period = 170 * time.Millisecond
+	sid2, err := c.Subscribe(0, sreq, func(s core.Sample) { tr.logSample("filtered", s) })
+	if err != nil {
+		tr.logf("subscribe error: %v", err)
+		return
+	}
+	c.RunFor(6 * period)
+
+	c.Kill(23)
+	c.RunFor(3 * period)
+	c.Kill(57)
+	c.RunFor(4 * period)
+	ni := c.AddNode()
+	c.Nodes[ni].Store().Set("mem", value.Int(55))
+	c.RunFor(4 * period)
+	c.Recover(23)
+	c.RunFor(3 * period)
+
+	// Knock the rest of the schedule off the subscription timer grids:
+	// every pump above is a multiple of the 400ms SubRenewInterval (and
+	// of both sample periods), so without this nudge the final one-shot
+	// and the cancels would reach the subscription trees at the exact
+	// instants of lease renewals — same-instant cross-origin collisions
+	// where the engines' tie-breaks (and hence outbox batch packing)
+	// legally differ. 13ms shares no factor with any timer period in
+	// the scenario. See the equivalence envelope in simnet/shard.go.
+	c.RunFor(13 * time.Millisecond)
+
+	runOneShot(tr, c, "sum(mem)")
+
+	c.Unsubscribe(0, sid)
+	c.Unsubscribe(0, sid2)
+	c.RunFor(2 * period)
+
+	tr.logf("virtual now=%v live=%d", c.Net.Now(), c.LiveCount())
+	tr.logCounters(c)
+}
+
+// TestCrossShardEquivalence proves shards=2 and shards=4 (serial and
+// parallel workers) byte-identical to shards=1 on the scenario above.
+func TestCrossShardEquivalence(t *testing.T) {
+	var ref transcript
+	scenarioSharded(&ref, 1, 1)
+	want := ref.b.String()
+	if len(want) == 0 {
+		t.Fatal("empty reference transcript")
+	}
+	configs := []struct {
+		shards, workers int
+	}{
+		{2, 1},
+		{4, 1},
+		{4, 4},
+	}
+	for _, cfg := range configs {
+		var tr transcript
+		scenarioSharded(&tr, cfg.shards, cfg.workers)
+		if got := tr.b.String(); got != want {
+			t.Errorf("shards=%d workers=%d diverged from shards=1:\n%s",
+				cfg.shards, cfg.workers, firstDiff(want, got))
+		}
+	}
+}

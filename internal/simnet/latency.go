@@ -17,6 +17,9 @@ func (m fixedModel) Latency(_, _ ids.ID, _ time.Duration, _ *rand.Rand) time.Dur
 	return time.Duration(m)
 }
 
+// MinLatency reports the constant delay as its own lower bound.
+func (m fixedModel) MinLatency() time.Duration { return time.Duration(m) }
+
 // Uniform returns a model drawing one-way delays uniformly from
 // [min, max).
 func Uniform(min, max time.Duration) LatencyModel {
@@ -33,6 +36,9 @@ func (m *uniformModel) Latency(_, _ ids.ID, _ time.Duration, rng *rand.Rand) tim
 	}
 	return m.min + time.Duration(rng.Int63n(int64(m.max-m.min)))
 }
+
+// MinLatency reports the lower edge of the draw interval.
+func (m *uniformModel) MinLatency() time.Duration { return m.min }
 
 // LANConfig parameterizes the Emulab-style local-network model: a
 // switched 100 Mbps LAN where wire latency is small and roughly uniform.
@@ -62,6 +68,9 @@ type lanModel struct {
 func (m *lanModel) Latency(_, _ ids.ID, _ time.Duration, rng *rand.Rand) time.Duration {
 	return m.cfg.Base + time.Duration(rng.Int63n(int64(m.cfg.Jitter)))
 }
+
+// MinLatency reports the base wire delay (jitter only adds).
+func (m *lanModel) MinLatency() time.Duration { return m.cfg.Base }
 
 // WANConfig parameterizes the PlanetLab-style wide-area model. Each
 // unordered node pair gets a stable base RTT drawn from a lognormal
@@ -228,6 +237,43 @@ func (m *WANModel) Latency(from, to ids.ID, now time.Duration, rng *rand.Rand) t
 	}
 	return oneWay - time.Duration(jit/2) + time.Duration(rng.Int63n(jit))
 }
+
+// MinLatency reports a conservative one-way floor: half the 2ms RTT
+// clamp, less the largest possible downward jitter excursion.
+func (m *WANModel) MinLatency() time.Duration {
+	floor := float64(time.Millisecond)
+	return time.Duration(floor * (1 - m.cfg.JitterFrac/2))
+}
+
+// Pairwise returns a draw-free deterministic model: each ordered node
+// pair gets a stable one-way delay of base plus a hashed offset in
+// [0, spread), at nanosecond granularity. Because it consumes no
+// randomness and depends only on the endpoints, it is the natural
+// model for byte-for-byte equivalence runs between the classic and
+// sharded schedulers: the classic engine's global draw stream and the
+// sharded engine's per-sender streams trivially agree (neither is
+// touched), and nanosecond-hashed arrival times make same-instant
+// cross-origin collisions — where the two engines' tie-breaks could
+// diverge — vanishingly unlikely.
+func Pairwise(base, spread time.Duration, seed int64) LatencyModel {
+	return &pairwiseModel{base: base, spread: spread, seed: seed}
+}
+
+type pairwiseModel struct {
+	base, spread time.Duration
+	seed         int64
+}
+
+func (m *pairwiseModel) Latency(from, to ids.ID, _ time.Duration, _ *rand.Rand) time.Duration {
+	if m.spread <= 0 {
+		return m.base
+	}
+	h := mixLat(idSeed(from)^uint64(m.seed), idSeed(to))
+	return m.base + time.Duration(h%uint64(m.spread))
+}
+
+// MinLatency reports the base delay (the hashed offset only adds).
+func (m *pairwiseModel) MinLatency() time.Duration { return m.base }
 
 func mixLat(a, b uint64) uint64 {
 	x := a ^ (b+0x9e3779b97f4a7c15)*0xbf58476d1ce4e5b9

@@ -268,6 +268,28 @@ type Options struct {
 	// CPUs: the paper's Emulab testbed ran 10 Moara instances per
 	// physical machine, so co-located instances contend for one CPU.
 	CPUOf func(id ids.ID) int
+	// Shards >= 2 selects the sharded conservative-lookahead scheduler
+	// (see shard.go): nodes are partitioned round-robin across Shards
+	// event heaps that drain lookahead windows in parallel. 0 or 1
+	// selects the classic single-heap scheduler. Sharded runs are
+	// deterministic for a given seed regardless of shard or worker
+	// count, but use a different (equally valid) same-instant
+	// tie-break than the classic scheduler, per-sender latency
+	// streams, and window-barrier RunWhile semantics. SerializeProc,
+	// CPUOf, and Tap are rejected in sharded mode.
+	Shards int
+	// ShardWorkers caps how many OS threads execute a window in
+	// parallel: 0 means GOMAXPROCS, 1 forces inline (serial)
+	// execution. Results are identical either way; only wall-clock
+	// differs.
+	ShardWorkers int
+	// Lookahead overrides the conservative window size for sharded
+	// execution. 0 derives it from the latency model's MinLatency()
+	// plus ProcDelay; models without a MinLatency() bound require an
+	// explicit positive Lookahead. Smaller values are always safe
+	// (more barriers, same results); values larger than the true
+	// minimum cross-shard delivery delay panic at the first violation.
+	Lookahead time.Duration
 }
 
 // Network is a simulated network of nodes sharing one virtual clock.
@@ -295,6 +317,10 @@ type Network struct {
 	// Quiet suppresses accounting when true (used to exclude warm-up
 	// traffic from experiment measurements).
 	quiet bool
+	// sharded is non-nil when Options.Shards >= 2 selected the
+	// conservative-lookahead parallel scheduler; the Run/Schedule/
+	// Counter entry points dispatch to it.
+	sharded *shardedNet
 }
 
 // New creates an empty simulated network.
@@ -308,6 +334,9 @@ func New(opts Options) *Network {
 		nodes: make(map[ids.ID]*nodeEnv),
 	}
 	n.counter = n.newCounter()
+	if opts.Shards >= 2 {
+		n.sharded = newShardedNet(n)
+	}
 	return n
 }
 
@@ -322,6 +351,12 @@ func (n *Network) AddNode(id ids.ID) *nodeEnv {
 		id:  id,
 		idx: len(n.envs),
 		rng: rand.New(rand.NewSource(n.opts.Seed ^ int64(idSeed(id)))),
+	}
+	if n.sharded != nil {
+		env.shard = n.sharded.shards[env.idx%len(n.sharded.shards)]
+		// The per-sender latency/jitter stream: a distinct salt keeps
+		// it independent of the node-logic stream above.
+		env.latRng = rand.New(rand.NewSource(n.opts.Seed ^ int64(idSeed(id)) ^ latStreamSalt))
 	}
 	n.nodes[id] = env
 	n.envs = append(n.envs, env)
@@ -353,12 +388,23 @@ func (n *Network) IsDown(id ids.ID) bool {
 	return ok && env.down
 }
 
-// Counter returns the live message counter.
-func (n *Network) Counter() *Counter { return n.counter }
+// Counter returns the message counter. On the classic scheduler it is
+// the live ledger; on the sharded scheduler it is a merged snapshot of
+// the per-shard ledgers (a reporting-path cost — don't call it per
+// event).
+func (n *Network) Counter() *Counter {
+	if n.sharded != nil {
+		return n.sharded.mergedCounter()
+	}
+	return n.counter
+}
 
 // ResetCounter zeroes accounting, typically after cluster warm-up.
 func (n *Network) ResetCounter() {
 	n.counter = n.newCounter()
+	if n.sharded != nil {
+		n.sharded.resetCounters()
+	}
 }
 
 // SetQuiet enables or disables message accounting.
@@ -382,8 +428,14 @@ func (n *Network) Rand() *rand.Rand { return n.rng }
 // PendingEvents reports the scheduled-event backlog (deliveries plus
 // armed timers). Harnesses use it to watch for runaway amplification —
 // a protocol bug that doubles messages per hop shows up here long
-// before it exhausts memory.
-func (n *Network) PendingEvents() int { return n.events.Len() }
+// before it exhausts memory. On the sharded scheduler it sums the
+// shard heaps, staged cross-shard inboxes, and the driver queue.
+func (n *Network) PendingEvents() int {
+	if n.sharded != nil {
+		return n.sharded.pending()
+	}
+	return n.events.Len()
+}
 
 // RTT estimates the round-trip time between two nodes by sampling the
 // latency model, excluding processing delay. Models with stable pairwise
@@ -417,8 +469,14 @@ func (n *Network) freeEvent(ev *event) {
 	n.freeEvents = append(n.freeEvents, ev)
 }
 
-// Schedule runs fn at now+d on the simulator goroutine.
+// Schedule runs fn at now+d on the simulator goroutine. On the sharded
+// scheduler the callback is a driver event: it runs on the coordinator
+// at a window edge, with every shard parked, before any node event at
+// the same instant — so it may safely touch any node.
 func (n *Network) Schedule(d time.Duration, fn func()) (cancel func()) {
+	if n.sharded != nil {
+		return n.sharded.schedule(d, fn)
+	}
 	if d < 0 {
 		d = 0
 	}
@@ -435,6 +493,10 @@ func (n *Network) Schedule(d time.Duration, fn func()) (cancel func()) {
 // cancelEvent removes a still-pending timer from the heap. A cancel
 // arriving after the event fired (or was recycled) is a no-op.
 func (n *Network) cancelEvent(ev *event, gen uint64) {
+	if n.sharded != nil {
+		n.sharded.cancelEvent(ev, gen)
+		return
+	}
 	if ev.gen != gen || ev.idx < 0 {
 		return
 	}
@@ -464,7 +526,12 @@ func (n *Network) exec(ev *event) {
 
 // Run processes events until the queue is empty or maxEvents events have
 // run (0 means unlimited). It returns the number of events processed.
+// On the sharded scheduler windows are atomic, so the count may
+// overshoot maxEvents within the final window.
 func (n *Network) Run(maxEvents int) int {
+	if n.sharded != nil {
+		return n.sharded.runWindows(0, false, nil, maxEvents)
+	}
 	processed := 0
 	for n.events.Len() > 0 {
 		if maxEvents > 0 && processed >= maxEvents {
@@ -479,8 +546,14 @@ func (n *Network) Run(maxEvents int) int {
 }
 
 // RunWhile processes events until cond returns false or the queue
-// drains. It returns the number of events processed.
+// drains. It returns the number of events processed. The classic
+// scheduler checks cond before every event; the sharded scheduler
+// checks it at window barriers, so a window that straddles the
+// condition flip completes before the run stops.
 func (n *Network) RunWhile(cond func() bool) int {
+	if n.sharded != nil {
+		return n.sharded.runWindows(0, false, cond, 0)
+	}
 	processed := 0
 	for n.events.Len() > 0 && cond() {
 		ev := n.events.pop()
@@ -500,6 +573,10 @@ func (n *Network) RunFor(d time.Duration) {
 // RunUntil processes all events scheduled at or before t and sets the
 // clock to t.
 func (n *Network) RunUntil(t time.Duration) {
+	if n.sharded != nil {
+		n.sharded.runWindows(t, true, nil, 0)
+		return
+	}
 	for n.events.Len() > 0 {
 		at := n.events.q[0].at
 		if at > t {
@@ -636,6 +713,14 @@ type nodeEnv struct {
 	removed bool
 	rng     *rand.Rand
 	handler Handler
+
+	// Sharded-scheduler state (nil/zero on the classic scheduler):
+	// the owning shard, the node's private event-creation counter
+	// (the birth-sequence half of the ordering key), and the
+	// per-sender latency/jitter stream.
+	shard  *shard
+	oseq   int64
+	latRng *rand.Rand
 }
 
 var _ Env = (*nodeEnv)(nil)
@@ -650,6 +735,10 @@ func (e *nodeEnv) Self() ids.ID { return e.id }
 func (e *nodeEnv) Send(to ids.ID, m any) {
 	if e.down {
 		return // a crashed node cannot send
+	}
+	if e.shard != nil {
+		e.shard.send(e, to, m)
+		return
 	}
 	e.net.send(e, to, m)
 }
@@ -714,6 +803,9 @@ func (e *nodeEnv) Arm(d time.Duration, fn func(), t *Timer) {
 }
 
 func (e *nodeEnv) defer_(d time.Duration, fn func()) *event {
+	if e.shard != nil {
+		return e.shard.defer_(e, d, fn)
+	}
 	n := e.net
 	if d < 0 {
 		d = 0
@@ -728,8 +820,15 @@ func (e *nodeEnv) defer_(d time.Duration, fn func()) *event {
 	return ev
 }
 
-// Now returns the current virtual time.
-func (e *nodeEnv) Now() time.Duration { return e.net.now }
+// Now returns the current virtual time: the owning shard's local clock
+// under the sharded scheduler (shard clocks diverge within a lookahead
+// window), the global clock otherwise.
+func (e *nodeEnv) Now() time.Duration {
+	if e.shard != nil {
+		return e.shard.now
+	}
+	return e.net.now
+}
 
 // Rand returns the node's deterministic random source.
 func (e *nodeEnv) Rand() *rand.Rand { return e.rng }
@@ -752,6 +851,10 @@ type event struct {
 	seq int64
 	idx int
 	gen uint64
+	// home routes sharded cancels to the owning heap: the shard index
+	// for shard-pool records, -1 for driver events. Unused (0) on the
+	// classic scheduler.
+	home int32
 
 	// Timer events carry fn (plus the owning env for the crashed-node
 	// check, avoiding a wrapper closure per timer); delivery events

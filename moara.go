@@ -163,6 +163,32 @@ func WithProtocolBootstrap() Option {
 	return func(o *options) { o.bootstrap = cluster.BootstrapProtocol }
 }
 
+// WithShards runs the simulation on the sharded conservative-lookahead
+// scheduler: nodes are partitioned across k event heaps that drain
+// lookahead windows in parallel, which is what lets a single SimCluster
+// reach 100k+ nodes on a multi-core machine. Runs stay deterministic
+// for a given seed at any shard or worker count. Sharded mode is
+// incompatible with WithLANModel's CPU-contention physics
+// (SerializeProc, shared machines) and with latency models that cannot
+// bound their minimum delay; it pairs naturally with WithPairwiseModel.
+// k <= 1 keeps the classic single-heap scheduler.
+func WithShards(k int) Option {
+	return func(o *options) { o.cl.Shards = k }
+}
+
+// WithPairwiseModel simulates a wide-area network with stable, hashed
+// per-pair one-way delays (no per-message jitter draws): each ordered
+// node pair gets base + hash in [0, spread). Deterministic and
+// draw-free, it is the latency model the sharded scheduler's
+// equivalence guarantees are proven under, and its positive base gives
+// the scheduler its lookahead horizon.
+func WithPairwiseModel(base, spread time.Duration) Option {
+	return func(o *options) {
+		o.cl.Latency = simnet.Pairwise(base, spread, o.seed)
+		o.cl.ProcDelay = 300 * time.Microsecond
+	}
+}
+
 // SimCluster is an in-process simulated Moara deployment.
 type SimCluster struct {
 	c *cluster.Cluster
