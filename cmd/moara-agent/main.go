@@ -16,6 +16,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -97,7 +98,9 @@ func main() {
 				runStanding(node, line, req.Period, *samples)
 				break
 			}
-			res, err := node.Query(line, *timeout)
+			ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+			res, err := node.Query(ctx, line)
+			cancel()
 			if err != nil {
 				fmt.Printf("  error: %v\n", err)
 				break

@@ -149,6 +149,15 @@ var figures = []struct {
 		}
 		return experiments.RunMultiQuery(o)
 	}},
+	{"multiservice", "query service: Q>>N subsumption sharing + result caching", func(p string) *experiments.Table {
+		o := experiments.MultiServiceOptions{}
+		if p == "quick" {
+			// The acceptance contract: 10k subscriptions over 32 forms at
+			// N=2000 bill the wire within 1.25x of the 32 forms alone.
+			o = experiments.MultiServiceOptions{N: 2000, Q: 10000, Forms: 32, Slices: 16, Epochs: 6}
+		}
+		return experiments.RunMultiService(o)
+	}},
 	{"churn", "membership churn: completeness, lag, and repair under kill/join/recover", func(p string) *experiments.Table {
 		o := experiments.ChurnOptions{}
 		if p != "paper" {

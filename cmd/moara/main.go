@@ -19,6 +19,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -38,6 +39,8 @@ func main() {
 	samples := flag.Int("samples", 8, "epochs to stream per standing query")
 	coalesce := flag.Duration("coalesce", 0,
 		"wire coalescing window (0 = one event-loop tick, -1ns = off)")
+	cacheTTL := flag.Duration("cache", 0,
+		"query-service result cache TTL (0 = caching off); cached answers print their age")
 	flag.Parse()
 
 	opts := []moara.Option{moara.WithSeed(*seed)}
@@ -54,6 +57,11 @@ func main() {
 	}
 	c := moara.NewSimCluster(*n, opts...)
 	seedDemoAttrs(c)
+	// The shell talks to the cluster through the unified client API,
+	// fronted by the query service: identical standing queries share one
+	// installed tree, and with -cache one-shot answers within the TTL are
+	// served from the service (stamped with their age).
+	cl := moara.NewService(c.Client(0), moara.ServiceOptions{CacheTTL: *cacheTTL})
 
 	fmt.Printf("moara: %d-node simulated cluster ready; try: count(*) where apache = true, or avg(mem_util) group by slice\n", *n)
 	sc := bufio.NewScanner(os.Stdin)
@@ -106,21 +114,24 @@ func main() {
 		case strings.HasPrefix(line, "get "):
 			doGet(c, line)
 		default:
-			runQuery(c, line, *samples)
+			runQuery(c, cl, line, *samples)
 		}
 		fmt.Print("moara> ")
 	}
 }
 
-func runQuery(c *moara.SimCluster, q string, samples int) {
+func runQuery(c *moara.SimCluster, cl moara.Client, q string, samples int) {
 	if req, err := moara.ParseRequest(q); err == nil && req.Period > 0 {
-		runStanding(c, q, req.Period, samples)
+		runStanding(c, cl, q, req.Period, samples)
 		return
 	}
-	res, err := c.Query(0, q)
+	res, err := cl.Query(context.Background(), q)
 	if err != nil {
 		fmt.Printf("  error: %v\n", err)
 		return
+	}
+	if res.Cached {
+		fmt.Printf("  (cached %s ago)\n", res.Age)
 	}
 	if res.Groups != nil {
 		for _, line := range moara.FormatGroups(res) {
@@ -144,11 +155,13 @@ func runQuery(c *moara.SimCluster, q string, samples int) {
 	fmt.Println()
 }
 
-// runStanding installs a standing query, pumps virtual time for the
-// requested number of epochs while printing each sample, then cancels.
-func runStanding(c *moara.SimCluster, q string, period time.Duration, samples int) {
+// runStanding installs a standing query through the service, pumps
+// virtual time for the requested number of epochs while printing each
+// sample, then cancels. A second identical query typed while one is
+// live would share the same installed tree.
+func runStanding(c *moara.SimCluster, cl moara.Client, q string, period time.Duration, samples int) {
 	got := 0
-	id, err := c.Subscribe(0, q, func(s moara.Sample) {
+	sub, err := cl.Subscribe(context.Background(), q, func(s moara.Sample) {
 		got++
 		for _, line := range moara.FormatSample(s) {
 			fmt.Printf("  %s\n", line)
@@ -161,7 +174,9 @@ func runStanding(c *moara.SimCluster, q string, period time.Duration, samples in
 	for i := 0; got < samples && i < 4*samples+16; i++ {
 		c.RunFor(period)
 	}
-	c.Unsubscribe(0, id)
+	if err := sub.Unsubscribe(); err != nil {
+		fmt.Printf("  unsubscribe: %v\n", err)
+	}
 	// Drain the cancel cascade in virtual time so `subs` shows the
 	// post-teardown state.
 	c.RunFor(4 * period)

@@ -1,0 +1,133 @@
+package moara
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestTypedSentinels proves every branchable failure at the public
+// boundary wraps its sentinel, so callers use errors.Is instead of
+// message matching.
+func TestTypedSentinels(t *testing.T) {
+	c := NewSimCluster(16, WithSeed(1))
+	ctx := context.Background()
+
+	cases := []struct {
+		name string
+		err  func() error
+		want error
+	}{
+		{"parse failure", func() error {
+			_, err := c.Client(0).Query(ctx, "bogus query text")
+			return err
+		}, ErrParse},
+		{"parse failure via wrapper", func() error {
+			_, err := c.Query(0, "also bogus")
+			return err
+		}, ErrParse},
+		{"standing query via Query", func() error {
+			_, err := c.Client(0).Query(ctx, "avg(cpu) every 1s")
+			return err
+		}, ErrStandingOnly},
+		{"one-shot via Subscribe", func() error {
+			_, err := c.Client(0).Subscribe(ctx, "avg(cpu)", func(Sample) {})
+			return err
+		}, ErrNotStanding},
+		{"one-shot via Subscribe wrapper", func() error {
+			_, err := c.Subscribe(0, "avg(cpu)", func(Sample) {})
+			return err
+		}, ErrNotStanding},
+		{"unknown unsubscribe", func() error {
+			return c.Unsubscribe(0, SubID{})
+		}, ErrUnknownSub},
+		{"double unsubscribe", func() error {
+			sub, err := c.Client(0).Subscribe(ctx, "count(*) every 1s", func(Sample) {})
+			if err != nil {
+				return err
+			}
+			if err := sub.Unsubscribe(); err != nil {
+				return err
+			}
+			return sub.Unsubscribe()
+		}, ErrUnknownSub},
+		{"dead origin", func() error {
+			c.Kill(3)
+			defer c.Recover(3)
+			_, err := c.Client(3).Query(ctx, "count(*)")
+			return err
+		}, ErrNoMembers},
+		{"dead origin subscribe", func() error {
+			c.Kill(4)
+			defer c.Recover(4)
+			_, err := c.Client(4).Subscribe(ctx, "count(*) every 1s", func(Sample) {})
+			return err
+		}, ErrNoMembers},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.err()
+			if err == nil {
+				t.Fatal("expected an error")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("errors.Is(%v, %v) = false", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestErrOverloadFromService(t *testing.T) {
+	c := NewSimCluster(8, WithSeed(1))
+	svc := NewService(c.Client(0), ServiceOptions{Rate: 1, Burst: 1})
+	ctx := WithTenant(context.Background(), "bench")
+	if _, err := svc.Query(ctx, "count(*)"); err != nil {
+		t.Fatalf("first request shed: %v", err)
+	}
+	_, err := svc.Query(ctx, "avg(cpu_x)")
+	if !errors.Is(err, ErrOverload) {
+		t.Fatalf("err = %v, want ErrOverload", err)
+	}
+	if !IsOverload(err) {
+		t.Fatal("IsOverload(err) = false")
+	}
+}
+
+// TestDeprecatedWrappers pins the legacy SimCluster entry points to the
+// Client path: same answers, same stream.
+func TestDeprecatedWrappers(t *testing.T) {
+	c := NewSimCluster(12, WithSeed(7))
+	for i := 0; i < c.Size(); i++ {
+		c.SetAttr(i, "load", Int(int64(i)))
+	}
+	old, err := c.Query(0, "sum(load)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaClient, err := c.Client(0).Query(context.Background(), "sum(load)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Agg.Value.String() != viaClient.Agg.Value.String() ||
+		old.Contributors != viaClient.Contributors {
+		t.Fatalf("wrapper answer %v/%d, client answer %v/%d",
+			old.Agg.Value, old.Contributors, viaClient.Agg.Value, viaClient.Contributors)
+	}
+
+	got := 0
+	id, err := c.Subscribe(0, "sum(load) every 1s", func(Sample) { got++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(3 * time.Second)
+	if got == 0 {
+		t.Fatal("wrapper subscription delivered no samples")
+	}
+	if err := c.Unsubscribe(0, id); err != nil {
+		t.Fatalf("unsubscribe: %v", err)
+	}
+	if err := c.Unsubscribe(0, id); !errors.Is(err, ErrUnknownSub) {
+		t.Fatalf("double wrapper unsubscribe: %v, want ErrUnknownSub", err)
+	}
+}

@@ -255,8 +255,12 @@ func (c *Cluster) RunFor(d time.Duration) { c.Net.RunFor(d) }
 
 // Execute runs a query from node i and pumps the network until the
 // result arrives, returning it with the virtual-time latency recorded
-// in Result.Stats.
+// in Result.Stats. A crashed origin cannot reach any member, so
+// executing from a down node fails immediately with ErrNoMembers.
 func (c *Cluster) Execute(i int, req core.Request) (core.Result, error) {
+	if c.down[i] {
+		return core.Result{}, fmt.Errorf("%w: origin node %d is down", core.ErrNoMembers, i)
+	}
 	var (
 		res  core.Result
 		err  error
@@ -274,13 +278,25 @@ func (c *Cluster) Execute(i int, req core.Request) (core.Result, error) {
 
 // Subscribe installs a standing query at node i. Samples are delivered
 // to cb as the caller pumps virtual time with RunFor/RunWhile.
+//
+// Concurrency contract: cb runs ON THE EVENT-LOOP GOROUTINE — the one
+// pumping RunFor/RunWhile. It must not call back into the cluster
+// (Execute, Subscribe, Unsubscribe, RunFor: the node is mid-dispatch
+// and not re-entrant), and a cb that blocks stalls every node in the
+// simulation, since one goroutine drives them all. Hand samples off to
+// a channel or buffer instead; the query-service front-end's buffered
+// fan-out (internal/service with Buffer > 0) packages that pattern.
 func (c *Cluster) Subscribe(i int, req core.Request, cb func(core.Sample)) (core.QueryID, error) {
+	if c.down[i] {
+		return core.QueryID{}, fmt.Errorf("%w: origin node %d is down", core.ErrNoMembers, i)
+	}
 	return c.Nodes[i].Subscribe(req, cb)
 }
 
-// Unsubscribe cancels a standing query installed from node i.
-func (c *Cluster) Unsubscribe(i int, id core.QueryID) {
-	c.Nodes[i].Unsubscribe(id)
+// Unsubscribe cancels a standing query installed from node i; unknown
+// subscription IDs report ErrUnknownSub.
+func (c *Cluster) Unsubscribe(i int, id core.QueryID) error {
+	return c.Nodes[i].Unsubscribe(id)
 }
 
 // ExecuteText parses and runs a query-language string from node i.

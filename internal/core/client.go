@@ -1,0 +1,31 @@
+package core
+
+import "github.com/moara/moara/internal/value"
+
+// This file defines the shared shapes of the unified client API (the
+// root package's moara.Client). They live here — not in the root
+// package — so the internal implementations (the simulated cluster
+// view, the TCP agent, the query-service front-end) can satisfy the
+// interface structurally without importing the root package.
+
+// Sub is a live standing-query subscription handle returned by
+// Subscribe: it identifies the subscription and tears it down.
+type Sub interface {
+	// ID returns the subscription's query identifier.
+	ID() QueryID
+	// Unsubscribe cancels the subscription, tearing down its state
+	// across the cluster. It returns ErrUnknownSub if the subscription
+	// is no longer live (double-unsubscribe).
+	Unsubscribe() error
+}
+
+// AttrStore is the attribute view a client exposes: the local agent's
+// monitoring hook (§3.1). The simulated cluster's per-node views and
+// the TCP agent both return their node's own store.
+type AttrStore interface {
+	// Set writes one attribute.
+	Set(name string, v value.Value)
+	// Get reads one attribute; missing attributes return an invalid
+	// Value.
+	Get(name string) value.Value
+}

@@ -87,6 +87,14 @@ type Result struct {
 	// covers overlap and NO-PRUNE includes recently departed members —
 	// and is zero when no tree root answered.
 	Expected float64
+	// Cached marks an answer served from the query service's one-shot
+	// result cache rather than freshly executed; Age is how long ago the
+	// cached answer was computed. Both are zero on every answer the
+	// engine itself produces — only the service front-end stamps them.
+	Cached bool
+	// Age is the cached answer's staleness at serve time (zero for
+	// fresh answers).
+	Age time.Duration
 	// Stats describes planning and timing.
 	Stats ExecStats
 }
@@ -224,7 +232,7 @@ func (fe *frontend) execute(req Request, cb func(Result, error)) {
 		return
 	}
 	if req.Period > 0 {
-		cb(Result{}, fmt.Errorf("core: standing query (every %v) must run via Subscribe", req.Period))
+		cb(Result{}, fmt.Errorf("%w (every %v)", ErrStandingOnly, req.Period))
 		return
 	}
 	plan := buildPlan(req.Attr, req.Pred, n.cfg.MaxCNFClauses)
@@ -463,7 +471,13 @@ func coverCanons(cover []groupSpec) []string {
 //	<agg>(<attr>) [group by <attr>] [where <predicate>] [every <duration>]
 //
 // e.g. "avg(mem_util) group by slice where apache = true" or, as a
-// standing query, "avg(load) where group = db every 2s".
+// standing query, "avg(load) where group = db every 2s". Failures wrap
+// ErrParse, so callers branch with errors.Is rather than message
+// matching.
 func ParseRequest(s string) (Request, error) {
-	return parseRequestText(s)
+	req, err := parseRequestText(s)
+	if err != nil {
+		return Request{}, fmt.Errorf("%w: %v", ErrParse, err)
+	}
+	return req, nil
 }

@@ -62,7 +62,14 @@ type Sample struct {
 	// Result is the epoch's aggregate (Stats carries only the group-by
 	// metadata; there is no per-epoch planning).
 	Result Result
+	// Err is non-nil when the round failed (subscription setup errors;
+	// per-epoch delivery has no failure callback).
+	Err error
 }
+
+// Completeness is Contributors/Expected clamped to [0,1] (1 when
+// Expected is unknown): the sample's self-reported coverage.
+func (s Sample) Completeness() float64 { return s.Result.Completeness() }
 
 // ---------------------------------------------------------------------
 // Node side: the subscription table and the epoch loop
@@ -753,9 +760,12 @@ func (n *Node) Subscribe(req Request, cb func(Sample)) (QueryID, error) {
 }
 
 // Unsubscribe cancels a standing query, tearing its subscription state
-// down across the trees it was installed on.
-func (n *Node) Unsubscribe(sid QueryID) {
-	n.fe.unsubscribe(sid)
+// down across the trees it was installed on. It returns ErrUnknownSub
+// when sid is not a live subscription of this front-end (already
+// unsubscribed, or never installed here) — a double-unsubscribe is a
+// caller bug worth surfacing, not a silent no-op.
+func (n *Node) Unsubscribe(sid QueryID) error {
+	return n.fe.unsubscribe(sid)
 }
 
 func (fe *frontend) subscribe(req Request, cb func(Sample)) (QueryID, error) {
@@ -767,7 +777,7 @@ func (fe *frontend) subscribe(req Request, cb func(Sample)) (QueryID, error) {
 		return QueryID{}, fmt.Errorf("core: empty query attribute")
 	}
 	if req.Period <= 0 {
-		return QueryID{}, fmt.Errorf("core: standing query needs a period (every clause)")
+		return QueryID{}, fmt.Errorf("%w: standing query needs a period (every clause)", ErrNotStanding)
 	}
 	plan := buildPlan(req.Attr, req.Pred, n.cfg.MaxCNFClauses)
 	plan.groupBy = req.GroupBy
@@ -794,10 +804,10 @@ func (fe *frontend) subscribe(req Request, cb func(Sample)) (QueryID, error) {
 	return fs.sid, nil
 }
 
-func (fe *frontend) unsubscribe(sid QueryID) {
+func (fe *frontend) unsubscribe(sid QueryID) error {
 	fs, ok := fe.subs[sid]
 	if !ok {
-		return
+		return fmt.Errorf("%w: %v", ErrUnknownSub, sid)
 	}
 	delete(fe.subs, sid)
 	if fs.renewCancel != nil {
@@ -815,6 +825,7 @@ func (fe *frontend) unsubscribe(sid QueryID) {
 	for _, g := range fs.groups {
 		fe.n.overlay.Route(g.treeKey(), CancelMsg{SID: sid, Group: g.canon})
 	}
+	return nil
 }
 
 // subPlanAndInstall probes composite covers (reusing the §6.3 size

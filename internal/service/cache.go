@@ -1,0 +1,79 @@
+package service
+
+import (
+	"container/list"
+	"time"
+
+	"github.com/moara/moara/internal/core"
+)
+
+// resultCache is a TTL'd LRU over completed one-shot results, keyed by
+// the normalized request. It is not internally synchronized — the
+// Service drives it under its own mutex.
+type resultCache struct {
+	cap     int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res core.Result
+	at  time.Duration // service clock at execution time
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached result for key if it is younger than ttl,
+// stamped with its age. Expired entries are evicted on the way out.
+func (c *resultCache) get(key string, now, ttl time.Duration) (core.Result, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return core.Result{}, false
+	}
+	ent := el.Value.(*cacheEntry)
+	age := now - ent.at
+	if age > ttl {
+		c.order.Remove(el)
+		delete(c.entries, key)
+		return core.Result{}, false
+	}
+	c.order.MoveToFront(el)
+	res := ent.res
+	res.Cached = true
+	res.Age = age
+	return res, true
+}
+
+// put stores a fresh result, evicting the least recently used entry
+// past capacity.
+func (c *resultCache) put(key string, res core.Result, now time.Duration) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		el.Value.(*cacheEntry).at = now
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res, at: now})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) len() int { return c.order.Len() }
+
+// flight is one in-progress execution that concurrent identical
+// requests piggyback on (single-flight).
+type flight struct {
+	done chan struct{}
+	res  core.Result
+	err  error
+}

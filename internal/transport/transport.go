@@ -10,6 +10,7 @@
 package transport
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -198,18 +199,45 @@ func (n *Node) SetAttr(name string, v value.Value) {
 	n.Do(func(c *core.Node) { c.Store().Set(name, v) })
 }
 
-// Query runs a query-language string from this node, blocking until
-// the result arrives or timeout elapses.
-func (n *Node) Query(text string, timeout time.Duration) (core.Result, error) {
+// Attrs returns the agent's attribute store behind a mutex-holding
+// wrapper: the raw store, like the rest of the core, is driven from one
+// goroutine, so the wrapper serializes each access through Do.
+func (n *Node) Attrs() core.AttrStore { return lockedStore{n} }
+
+// lockedStore adapts the agent's single-threaded attribute store to the
+// concurrent AttrStore contract.
+type lockedStore struct{ n *Node }
+
+func (ls lockedStore) Set(name string, v value.Value) {
+	ls.n.Do(func(c *core.Node) { c.Store().Set(name, v) })
+}
+
+func (ls lockedStore) Get(name string) value.Value {
+	var v value.Value
+	ls.n.Do(func(c *core.Node) { v = c.Store().Get(name) })
+	return v
+}
+
+// Now is the agent's monotonic clock: elapsed wall time since the node
+// started. The query-service front-end picks it up for cache ages and
+// admission refills.
+func (n *Node) Now() time.Duration { return time.Since(n.start) }
+
+// Query parses and runs a one-shot query from this node, blocking
+// until the result arrives, ctx is done, or the node closes. Parse
+// failures wrap core.ErrParse; standing queries (`every` clause) fail
+// with core.ErrStandingOnly.
+func (n *Node) Query(ctx context.Context, text string) (core.Result, error) {
 	req, err := core.ParseRequest(text)
 	if err != nil {
 		return core.Result{}, err
 	}
-	return n.Execute(req, timeout)
+	return n.Execute(ctx, req)
 }
 
-// Execute runs a parsed request, blocking until completion or timeout.
-func (n *Node) Execute(req core.Request, timeout time.Duration) (core.Result, error) {
+// Execute runs a parsed one-shot request, blocking until completion,
+// ctx cancellation, or node shutdown.
+func (n *Node) Execute(ctx context.Context, req core.Request) (core.Result, error) {
 	type outcome struct {
 		res core.Result
 		err error
@@ -223,30 +251,79 @@ func (n *Node) Execute(req core.Request, timeout time.Duration) (core.Result, er
 	select {
 	case out := <-ch:
 		return out.res, out.err
-	case <-time.After(timeout):
-		return core.Result{}, errors.New("transport: query timed out")
+	case <-ctx.Done():
+		return core.Result{}, ctx.Err()
 	case <-n.closed:
 		return core.Result{}, errors.New("transport: node closed")
 	}
 }
 
-// Subscribe installs a standing query from this agent; fn receives one
-// sample per epoch until Unsubscribe. fn runs on the agent's serialized
-// core goroutine and must not call back into the node — hand samples
-// off to a channel.
-func (n *Node) Subscribe(req core.Request, fn func(core.Sample)) (core.QueryID, error) {
+// QueryWait runs a query with a wall-clock timeout.
+//
+// Deprecated: use Query with a context deadline; this wrapper remains
+// for timeout-style callers.
+func (n *Node) QueryWait(text string, timeout time.Duration) (core.Result, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return n.Query(ctx, text)
+}
+
+// ExecuteWait runs a parsed request with a wall-clock timeout.
+//
+// Deprecated: use Execute with a context deadline.
+func (n *Node) ExecuteWait(req core.Request, timeout time.Duration) (core.Result, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return n.Execute(ctx, req)
+}
+
+// Subscribe installs a standing query (the text needs an `every`
+// clause — core.ErrNotStanding otherwise) from this agent; fn receives
+// one sample per epoch until the returned handle unsubscribes. fn runs
+// on the agent's serialized core goroutine and must not call back into
+// the node — hand samples off to a channel, or front the agent with the
+// query service's buffered fan-out (internal/service, Buffer > 0).
+func (n *Node) Subscribe(ctx context.Context, text string, fn func(core.Sample)) (core.Sub, error) {
+	req, err := core.ParseRequest(text)
+	if err != nil {
+		return nil, err
+	}
+	return n.SubscribeRequest(ctx, req, fn)
+}
+
+// SubscribeRequest is the parsed-request install path (the query
+// service uses it to install normalized requests directly).
+func (n *Node) SubscribeRequest(ctx context.Context, req core.Request, fn func(core.Sample)) (core.Sub, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var (
 		id  core.QueryID
 		err error
 	)
 	n.Do(func(c *core.Node) { id, err = c.Subscribe(req, fn) })
-	return id, err
+	if err != nil {
+		return nil, err
+	}
+	return &agentSub{n: n, id: id}, nil
 }
 
-// Unsubscribe cancels a standing query installed from this agent.
-func (n *Node) Unsubscribe(id core.QueryID) {
-	n.Do(func(c *core.Node) { c.Unsubscribe(id) })
+// Unsubscribe cancels a standing query installed from this agent;
+// unknown (or already-cancelled) IDs report core.ErrUnknownSub.
+func (n *Node) Unsubscribe(id core.QueryID) error {
+	var err error
+	n.Do(func(c *core.Node) { err = c.Unsubscribe(id) })
+	return err
 }
+
+// agentSub is a standing-query handle on a TCP agent.
+type agentSub struct {
+	n  *Node
+	id core.QueryID
+}
+
+func (a *agentSub) ID() core.QueryID   { return a.id }
+func (a *agentSub) Unsubscribe() error { return a.n.Unsubscribe(a.id) }
 
 // Close shuts the agent down and waits for its goroutines. The core is
 // closed before the connections so its final outbox flush (queued

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -43,7 +44,7 @@ func TestTCPClusterGlobalSum(t *testing.T) {
 		nd.SetAttr("load", value.Int(int64(i+1)))
 		want += int64(i + 1)
 	}
-	res, err := nodes[0].Query("sum(load)", 10*time.Second)
+	res, err := nodes[0].QueryWait("sum(load)", 10*time.Second)
 	if err != nil {
 		t.Fatalf("query: %v", err)
 	}
@@ -63,14 +64,14 @@ func TestTCPClusterGroupQueries(t *testing.T) {
 		nd.SetAttr("dc", value.Str(fmt.Sprintf("dc%d", i%3)))
 		nd.SetAttr("cpu", value.Float(float64(10*i)))
 	}
-	res, err := nodes[1].Query("count(*) where svc = true", 10*time.Second)
+	res, err := nodes[1].QueryWait("count(*) where svc = true", 10*time.Second)
 	if err != nil {
 		t.Fatalf("count: %v", err)
 	}
 	if got, _ := res.Agg.Value.AsInt(); got != 5 {
 		t.Fatalf("count = %d, want 5", got)
 	}
-	res, err = nodes[3].Query("count(*) group by dc", 10*time.Second)
+	res, err = nodes[3].QueryWait("count(*) group by dc", 10*time.Second)
 	if err != nil {
 		t.Fatalf("grouped: %v", err)
 	}
@@ -88,7 +89,7 @@ func TestTCPClusterGroupQueries(t *testing.T) {
 		t.Fatalf("grouped total = %d, want 10", got)
 	}
 
-	res, err = nodes[2].Query("max(cpu) where svc = true and dc = dc0", 10*time.Second)
+	res, err = nodes[2].QueryWait("max(cpu) where svc = true and dc = dc0", 10*time.Second)
 	if err != nil {
 		t.Fatalf("composite: %v", err)
 	}
@@ -105,7 +106,7 @@ func TestTCPRepeatedQueriesPrune(t *testing.T) {
 		nd.SetAttr("g", value.Bool(i == 0))
 	}
 	for round := 0; round < 5; round++ {
-		res, err := nodes[3].Query("count(*) where g = true", 10*time.Second)
+		res, err := nodes[3].QueryWait("count(*) where g = true", 10*time.Second)
 		if err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}
@@ -117,7 +118,7 @@ func TestTCPRepeatedQueriesPrune(t *testing.T) {
 
 func TestTCPQueryTimeoutOnBadRequest(t *testing.T) {
 	nodes := startCluster(t, 3, core.Config{})
-	if _, err := nodes[0].Query("bogus query text", time.Second); err == nil {
+	if _, err := nodes[0].QueryWait("bogus query text", time.Second); err == nil {
 		t.Fatal("expected parse error")
 	}
 }
@@ -159,11 +160,11 @@ func TestTCPConcurrentStandingCoalesced(t *testing.T) {
 	}
 	chA := make(chan core.Sample, 64)
 	chB := make(chan core.Sample, 64)
-	sidA, err := nodes[0].Subscribe(req, func(s core.Sample) { chA <- s })
+	subA, err := nodes[0].SubscribeRequest(context.Background(), req, func(s core.Sample) { chA <- s })
 	if err != nil {
 		t.Fatalf("subscribe A: %v", err)
 	}
-	if _, err := nodes[1].Subscribe(req, func(s core.Sample) { chB <- s }); err != nil {
+	if _, err := nodes[1].SubscribeRequest(context.Background(), req, func(s core.Sample) { chB <- s }); err != nil {
 		t.Fatalf("subscribe B: %v", err)
 	}
 	waitWarm := func(name string, ch chan core.Sample) core.Sample {
@@ -181,7 +182,9 @@ func TestTCPConcurrentStandingCoalesced(t *testing.T) {
 	}
 	waitWarm("A", chA)
 	waitWarm("B", chB)
-	nodes[0].Unsubscribe(sidA)
+	if err := subA.Unsubscribe(); err != nil {
+		t.Fatalf("unsubscribe A: %v", err)
+	}
 	// B keeps streaming full samples after A's batched cancel cascade.
 	waitWarm("B after cancel", chB)
 }

@@ -224,11 +224,17 @@ func (s *SimCluster) Attr(i int, name string) Value {
 // Query parses and runs a query from node i, driving the simulation
 // until the answer arrives. Latency is reported in virtual time via
 // Result.Stats.
+//
+// Deprecated-style convenience: new code should use the unified client
+// API, s.Client(i).Query(ctx, text), which the shells and Monitor are
+// written against. This wrapper remains supported.
 func (s *SimCluster) Query(i int, text string) (Result, error) {
 	return s.c.ExecuteText(i, text)
 }
 
 // Execute runs a parsed request from node i.
+//
+// Deprecated-style convenience: prefer s.Client(i).Execute(ctx, req).
 func (s *SimCluster) Execute(i int, req Request) (Result, error) {
 	return s.c.Execute(i, req)
 }
@@ -242,22 +248,27 @@ type SubID = core.QueryID
 // epoch and fn receives one Sample per epoch — as virtual time is
 // pumped with RunFor (or Monitor) — until Unsubscribe. Early samples
 // are marked ColdStart while the contribution pipeline fills.
+//
+// fn runs on the event-loop goroutine (see Client for the full
+// contract): it must not block or call back into the cluster.
+// Queries without an `every` clause fail with ErrNotStanding.
+//
+// Deprecated-style convenience: prefer s.Client(node).Subscribe, which
+// returns a Sub handle instead of a bare SubID.
 func (s *SimCluster) Subscribe(node int, query string, fn func(Sample)) (SubID, error) {
 	req, err := ParseRequest(query)
 	if err != nil {
 		return SubID{}, err
 	}
-	if req.Period <= 0 {
-		return SubID{}, fmt.Errorf("moara: standing query needs an 'every <duration>' clause")
-	}
-	return s.c.Subscribe(node, req, func(cs core.Sample) { fn(fromCoreSample(cs)) })
+	return s.c.Subscribe(node, req, fn)
 }
 
 // Unsubscribe cancels a standing query, tearing down its subscription
 // state across the cluster (propagated down-tree, with an idle-timeout
-// backstop for unreachable branches).
-func (s *SimCluster) Unsubscribe(node int, id SubID) {
-	s.c.Unsubscribe(node, id)
+// backstop for unreachable branches). Unknown (or already-cancelled)
+// subscription IDs report ErrUnknownSub instead of silently no-oping.
+func (s *SimCluster) Unsubscribe(node int, id SubID) error {
+	return s.c.Unsubscribe(node, id)
 }
 
 // RunFor advances virtual time (status propagation, tree adaptation).

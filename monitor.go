@@ -1,50 +1,26 @@
 package moara
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"github.com/moara/moara/internal/core"
 )
 
-// Sample is one epoch of a monitored (standing) query.
-type Sample struct {
-	// At is the (virtual) time the sample was delivered.
-	At time.Duration
-	// Epoch numbers the sample within its subscription (1-based).
-	Epoch uint64
-	// ColdStart marks samples taken while the subscription's pipeline
-	// was still filling (install dissemination plus one epoch per tree
-	// level, and again after a cover flip re-install). Round 0 of any
-	// monitoring run includes tree construction, so series plots and
-	// benchmarks should compare warm epochs only: filter on !ColdStart
-	// instead of silently dropping the asymmetry.
-	ColdStart bool
-	// Contributors counts the group members folded into this epoch's
-	// aggregate; with Expected (the system's own population estimate)
-	// it reports the sample's coverage under churn — see the README's
-	// completeness semantics for what it does and does not promise.
-	Contributors int64
-	// Expected is the cover roots' population estimate for the epoch.
-	Expected float64
-	// Result is the epoch's aggregate.
-	Result Result
-	// Err is non-nil when the round failed (subscription setup errors;
-	// per-epoch delivery has no failure callback).
-	Err error
-}
-
-// Completeness is Contributors/Expected clamped to [0,1] (1 when
-// Expected is unknown): the sample's self-reported coverage.
-func (s Sample) Completeness() float64 { return s.Result.Completeness() }
-
-func fromCoreSample(cs core.Sample) Sample {
-	return Sample{
-		At: cs.At, Epoch: cs.Epoch, ColdStart: cs.ColdStart,
-		Contributors: cs.Contributors, Expected: cs.Expected,
-		Result: cs.Result,
-	}
-}
+// Sample is one epoch of a monitored (standing) query. It is the
+// engine's sample type re-exported: see the field docs in
+// internal/core. Highlights:
+//
+//   - Epoch numbers deliveries (1-based, consecutive); RootEpoch
+//     exposes stream faults (gaps, repeats).
+//   - ColdStart marks samples taken while the contribution pipeline
+//     was still filling — series plots and benchmarks should compare
+//     warm epochs only.
+//   - Contributors/Expected (and Completeness) report coverage under
+//     churn.
+//   - Err is non-nil when the round failed.
+type Sample = core.Sample
 
 // Monitor implements the paper's continuous-monitoring pattern (§1) on
 // the standing-query subsystem: instead of re-executing a one-shot
@@ -56,40 +32,67 @@ func fromCoreSample(cs core.Sample) Sample {
 //
 // Monitor drives the simulated cluster's clock; it returns the rounds
 // samples collected over the monitoring window, the earliest of which
-// are marked ColdStart while the contribution pipeline fills.
+// are marked ColdStart while the contribution pipeline fills. It is
+// MonitorClient over s.Client(node) with the cluster's virtual-time
+// pump.
 func (s *SimCluster) Monitor(node int, query string, every time.Duration, rounds int) ([]Sample, error) {
-	req, err := ParseRequest(query)
+	return MonitorClient(context.Background(), s.Client(node), query, every, rounds, s.RunFor)
+}
+
+// MonitorClient collects rounds standing-query samples from any Client.
+// The query's own `every` clause takes precedence over the every
+// parameter. pump advances time between deliveries: a simulated
+// deployment passes its RunFor; a real deployment passes nil (or
+// time.Sleep) to wait on the wall clock.
+func MonitorClient(ctx context.Context, cl Client, query string, every time.Duration, rounds int, pump func(time.Duration)) ([]Sample, error) {
+	query, every, err := monitorQuery(query, every)
 	if err != nil {
 		return nil, err
 	}
-	// The query's own `every` clause takes precedence over the every
-	// parameter, matching MonitorAgent.
-	if req.Period <= 0 {
-		req.Period = every
+	if rounds <= 0 {
+		return nil, fmt.Errorf("%w: monitor needs a positive round count", ErrParse)
 	}
-	if req.Period <= 0 || rounds <= 0 {
-		return nil, fmt.Errorf("moara: monitor needs a positive interval and round count")
+	if pump == nil {
+		pump = time.Sleep
 	}
-	every = req.Period
 	out := make([]Sample, 0, rounds)
-	id, err := s.c.Subscribe(node, req, func(cs core.Sample) {
+	sub, err := cl.Subscribe(ctx, query, func(s Sample) {
 		if len(out) < rounds {
-			out = append(out, fromCoreSample(cs))
+			out = append(out, s)
 		}
 	})
 	if err != nil {
 		return nil, err
 	}
-	defer s.c.Unsubscribe(node, id)
+	defer sub.Unsubscribe()
 	// One sample arrives per period; the generous cap keeps a stalled
 	// subscription from hanging the caller.
 	for i := 0; len(out) < rounds && i < 4*rounds+64; i++ {
-		s.c.RunFor(every)
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		pump(every)
 	}
 	if len(out) < rounds {
 		return out, fmt.Errorf("moara: monitor collected %d/%d samples", len(out), rounds)
 	}
 	return out, nil
+}
+
+// monitorQuery validates the query text and folds the every parameter
+// into it when the text has no `every` clause of its own.
+func monitorQuery(query string, every time.Duration) (string, time.Duration, error) {
+	req, err := ParseRequest(query)
+	if err != nil {
+		return "", 0, err
+	}
+	if req.Period > 0 {
+		return query, req.Period, nil
+	}
+	if every <= 0 {
+		return "", 0, fmt.Errorf("%w: monitor needs a positive interval", ErrNotStanding)
+	}
+	return fmt.Sprintf("%s every %s", query, every), every, nil
 }
 
 // GroupSeries pivots grouped monitoring samples into one time series
@@ -113,33 +116,27 @@ func GroupSeries(samples []Sample) map[string][]Value {
 	return series
 }
 
-// MonitorAgent runs the same standing-query pattern against a TCP
-// agent on the real clock, invoking fn after every epoch until stop is
-// closed. The query's own `every` clause takes precedence over the
-// every parameter. Samples that arrive while fn is running are dropped
-// rather than buffered without bound.
-func MonitorAgent(a *Agent, query string, every time.Duration, stop <-chan struct{}, fn func(Sample)) error {
-	req, err := ParseRequest(query)
+// MonitorAgent runs the same standing-query pattern against any
+// real-clock Client (typically a TCP *Agent), invoking fn after every
+// epoch until stop is closed. The query's own `every` clause takes
+// precedence over the every parameter. Samples that arrive while fn is
+// running are dropped rather than buffered without bound.
+func MonitorAgent(a Client, query string, every time.Duration, stop <-chan struct{}, fn func(Sample)) error {
+	query, _, err := monitorQuery(query, every)
 	if err != nil {
 		return err
 	}
-	if req.Period <= 0 {
-		req.Period = every
-	}
-	if req.Period <= 0 {
-		return fmt.Errorf("moara: monitor needs a positive interval")
-	}
 	ch := make(chan Sample, 16)
-	id, err := a.Subscribe(req, func(cs core.Sample) {
+	sub, err := a.Subscribe(context.Background(), query, func(s Sample) {
 		select {
-		case ch <- fromCoreSample(cs):
+		case ch <- s:
 		default:
 		}
 	})
 	if err != nil {
 		return err
 	}
-	defer a.Unsubscribe(id)
+	defer sub.Unsubscribe()
 	for {
 		select {
 		case <-stop:
