@@ -186,6 +186,20 @@ var figures = []struct {
 		}
 		return experiments.RunScale(o)
 	}},
+	{"sketches", "approximate aggregates: bounded sketch state vs exact enum", func(p string) *experiments.Table {
+		o := experiments.SketchesOptions{}
+		switch p {
+		case "quick":
+			// CI smoke: the bounded-state contract end to end, under a
+			// second of cluster time.
+			o = experiments.SketchesOptions{N: 2000, Cardinalities: []int{100, 1000, 10000}, Epochs: 6}
+		case "scale":
+			// The headline: bounded per-node state at N=10000.
+			o = experiments.SketchesOptions{N: 10000, Epochs: 8}
+		default: // paper-profile defaults
+		}
+		return experiments.RunSketches(o)
+	}},
 	{"scaleshards", "sharded-scheduler sweep: shard counts at N=10k + the N=100k row", func(p string) *experiments.Table {
 		o := experiments.ScaleShardsOptions{}
 		switch p {

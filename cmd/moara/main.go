@@ -74,6 +74,7 @@ func main() {
 			return
 		case line == "help":
 			fmt.Println("  <agg>(<attr>) [group by <attr>] [where <pred>] [every <dur>] | set <node> <attr> <val> | get <node> <attr> | trees [node] | subs [node] | stats | quit")
+			fmt.Println("  aggs: sum count min max avg std topN enum | sketches: dcount quantile(x,q) pNN topkeys(x,k) union collect")
 		case line == "stats":
 			logical, wire := c.Messages(), c.WireMessages()
 			fmt.Printf("  moara messages since start/reset: %d logical, %d wire", logical, wire)

@@ -35,6 +35,26 @@ const (
 	// extension beyond the paper's list, still partially aggregatable
 	// via (count, sum, sum-of-squares).
 	KindStd
+	// The mergeable-sketch family (see sketch.go): bounded-state
+	// approximations of aggregates whose exact forms grow with
+	// population or cardinality. Each is a State like any other and
+	// rides the keyed GroupedState plumbing unchanged.
+	//
+	// KindDCount estimates distinct values via HyperLogLog.
+	KindDCount
+	// KindQuantile estimates a rank quantile (Spec.Q) via a KLL-style
+	// compactor hierarchy; the query language spells it quantile(x, q)
+	// or pNN(x).
+	KindQuantile
+	// KindTopKeys tracks the K most frequent values via Misra-Gries
+	// heavy-hitter counters.
+	KindTopKeys
+	// KindUnion collects the set of distinct values, capped with
+	// deterministic spill (the SetCap smallest values are kept exact).
+	KindUnion
+	// KindCollect lists every contribution like enum, capped with
+	// deterministic spill (the SetCap smallest node IDs are kept).
+	KindCollect
 )
 
 // ctor describes one registered aggregation function: its canonical
@@ -42,8 +62,12 @@ const (
 // its empty State. Spec.New, ParseSpec, and Kind.String are all views of
 // this one registry, so adding a function is a single-entry change.
 type ctor struct {
-	name     string
-	aliases  []string
+	name    string
+	aliases []string
+	// sketch marks approximation kinds whose merges are
+	// bound-preserving rather than value-identical (see Approximate);
+	// the merge-law property harness keys its comparison mode on it.
+	sketch   bool
 	newState func(Spec) State
 }
 
@@ -62,6 +86,19 @@ var registry = map[Kind]ctor{
 	}},
 	KindEnum: {name: "enum", aliases: []string{"enumerate", "list"}, newState: func(Spec) State { return &EnumState{} }},
 	KindStd:  {name: "std", aliases: []string{"stddev"}, newState: func(Spec) State { return &StdState{} }},
+	KindDCount: {name: "dcount", aliases: []string{"countdistinct"}, sketch: true,
+		newState: func(Spec) State { return &DCountState{} }},
+	KindQuantile: {name: "quantile", aliases: []string{"percentile"}, sketch: true,
+		newState: func(s Spec) State { return &QuantileState{Q: s.Q} }},
+	KindTopKeys: {name: "topkeys", sketch: true, newState: func(s Spec) State {
+		k := s.K
+		if k <= 0 {
+			k = DefaultTopKeys
+		}
+		return &TopKeysState{K: k}
+	}},
+	KindUnion:   {name: "union", newState: func(Spec) State { return &UnionState{Cap: SetCap} }},
+	KindCollect: {name: "collect", newState: func(Spec) State { return &CollectState{Cap: SetCap} }},
 }
 
 // kindByName indexes the registry by canonical name and alias.
@@ -85,33 +122,112 @@ func (k Kind) String() string {
 }
 
 // Spec identifies an aggregation function instance. K is the list bound
-// for TOP-K and ignored otherwise.
+// for TOP-K and the counter capacity for TOPKEYS (ignored otherwise);
+// Q is the target rank for QUANTILE (0 < Q < 1, ignored otherwise),
+// canonicalized to micro-quantile precision so `quantile(x, 0.99)` and
+// `p99(x)` build identical (comparable, cache-keyable) Specs.
 type Spec struct {
 	Kind Kind
 	K    int
+	Q    float64
 }
 
-// String renders the spec as it appears in the query language.
+// String renders the spec as it appears in the query language, in
+// canonical form: quantiles always render as their pNN sugar, so every
+// way of spelling the same quantile shares one canonical key.
 func (s Spec) String() string {
-	if s.Kind == KindTopK {
+	switch s.Kind {
+	case KindTopK:
 		return fmt.Sprintf("top%d", s.K)
+	case KindTopKeys:
+		return fmt.Sprintf("topkeys%d", s.K)
+	case KindQuantile:
+		return "p" + strconv.FormatFloat(math.Round(s.Q*1e8)/1e6, 'f', -1, 64)
 	}
 	return s.Kind.String()
 }
 
+// Validate rejects specs the parser can never produce but programmatic
+// construction can: an unregistered kind, a quantile rank outside
+// (0, 1), or a non-positive K where one is required.
+func (s Spec) Validate() error {
+	if _, ok := registry[s.Kind]; !ok {
+		return fmt.Errorf("aggregate: invalid spec kind %d", s.Kind)
+	}
+	switch s.Kind {
+	case KindQuantile:
+		if !(s.Q > 0 && s.Q < 1) { // negated so NaN is rejected too
+			return fmt.Errorf("aggregate: quantile rank %v outside (0, 1)", s.Q)
+		}
+	case KindTopK, KindTopKeys:
+		if s.K <= 0 {
+			return fmt.Errorf("aggregate: %s needs a positive k", registry[s.Kind].name)
+		}
+	}
+	return nil
+}
+
+// canonQ canonicalizes a quantile rank to micro-quantile precision, so
+// the float arithmetic of `p99.9` (99.9/100) and the literal of
+// `quantile(x, 0.999)` land on the same Spec.Q bit pattern.
+func canonQ(q float64) float64 { return math.Round(q*1e6) / 1e6 }
+
 // ParseSpec parses an aggregation function name: sum, count, min, max,
-// avg, enum, or topN (e.g. top3).
+// avg, std, enum, dcount, union, collect, topN (e.g. top3), topkeysN,
+// or pNN (e.g. p99, p99.9).
 func ParseSpec(name string) (Spec, error) {
+	return ParseSpecArg(name, "")
+}
+
+// ParseSpecArg parses an aggregation function name plus the optional
+// second argument of the two-argument query forms `quantile(attr, q)`
+// and `topkeys(attr, k)`. Functions that take no argument reject a
+// non-empty arg.
+func ParseSpecArg(name, arg string) (Spec, error) {
 	n := strings.ToLower(strings.TrimSpace(name))
 	if n == "" {
 		return Spec{}, fmt.Errorf("aggregate: empty function name")
 	}
 	if k, ok := kindByName[n]; ok {
 		s := Spec{Kind: k}
-		if k == KindTopK {
+		switch k {
+		case KindTopK:
 			s.K = 1
+		case KindTopKeys:
+			s.K = DefaultTopKeys
+			if arg != "" {
+				kk, err := strconv.Atoi(arg)
+				if err != nil || kk <= 0 {
+					return Spec{}, fmt.Errorf("aggregate: bad topkeys count %q", arg)
+				}
+				s.K = kk
+			}
+			return s, nil
+		case KindQuantile:
+			if arg == "" {
+				return Spec{}, fmt.Errorf("aggregate: %s needs a rank: %s(attr, q) with 0 < q < 1", n, n)
+			}
+			q, err := strconv.ParseFloat(arg, 64)
+			if err != nil || !(q > 0 && q < 1) { // negated so NaN is rejected too
+				return Spec{}, fmt.Errorf("aggregate: bad quantile rank %q (need 0 < q < 1)", arg)
+			}
+			s.Q = canonQ(q)
+			return s, nil
+		}
+		if arg != "" {
+			return Spec{}, fmt.Errorf("aggregate: %s takes no argument", n)
 		}
 		return s, nil
+	}
+	if arg != "" {
+		return Spec{}, fmt.Errorf("aggregate: %s takes no argument", n)
+	}
+	if rest, ok := strings.CutPrefix(n, "topkeys"); ok && rest != "" {
+		k, err := strconv.Atoi(rest)
+		if err != nil || k <= 0 {
+			return Spec{}, fmt.Errorf("aggregate: bad topkeys spec %q", name)
+		}
+		return Spec{Kind: KindTopKeys, K: k}, nil
 	}
 	if rest, ok := strings.CutPrefix(n, "top"); ok {
 		if rest == "" {
@@ -122,6 +238,13 @@ func ParseSpec(name string) (Spec, error) {
 			return Spec{}, fmt.Errorf("aggregate: bad top-k spec %q", name)
 		}
 		return Spec{Kind: KindTopK, K: k}, nil
+	}
+	if rest, ok := strings.CutPrefix(n, "p"); ok && rest != "" && rest[0] >= '0' && rest[0] <= '9' {
+		pct, err := strconv.ParseFloat(rest, 64)
+		if err != nil || !(pct > 0 && pct < 100) { // negated so NaN is rejected too
+			return Spec{}, fmt.Errorf("aggregate: bad percentile spec %q (need p0 < pNN < p100)", name)
+		}
+		return Spec{Kind: KindQuantile, Q: canonQ(pct / 100)}, nil
 	}
 	return Spec{}, fmt.Errorf("aggregate: unknown function %q", name)
 }
@@ -149,15 +272,31 @@ type State interface {
 	Nodes() int64
 }
 
+// KeyCount is one heavy-hitter entry of a TOPKEYS result: an attribute
+// value (rendered as a group key) and its estimated frequency.
+type KeyCount struct {
+	Key   string
+	Count int64
+}
+
 // Result is a completed aggregation: a scalar value, a list, or both
-// (TOP-K and ENUMERATE fill Entries; the rest fill Value).
+// (TOP-K, ENUMERATE, UNION and COLLECT fill Entries; TOPKEYS fills
+// Counts; the rest fill Value).
 type Result struct {
 	Value   value.Value
 	Entries []Entry
+	Counts  []KeyCount
 }
 
 // String renders the result for display.
 func (r Result) String() string {
+	if r.Counts != nil {
+		parts := make([]string, 0, len(r.Counts))
+		for _, kc := range r.Counts {
+			parts = append(parts, fmt.Sprintf("%s×%d", kc.Key, kc.Count))
+		}
+		return "[" + strings.Join(parts, " ") + "]"
+	}
 	if r.Entries == nil {
 		return r.Value.String()
 	}
@@ -197,11 +336,21 @@ func poolGet(s Spec) State {
 	if st == nil {
 		return nil
 	}
-	if tk, ok := st.(*TopKState); ok {
-		tk.K = s.K
-		if tk.K <= 0 {
-			tk.K = 1
+	// The pool is keyed by kind only; parameter fields are re-stamped
+	// from the spec on the way out.
+	switch t := st.(type) {
+	case *TopKState:
+		t.K = s.K
+		if t.K <= 0 {
+			t.K = 1
 		}
+	case *TopKeysState:
+		t.K = s.K
+		if t.K <= 0 {
+			t.K = DefaultTopKeys
+		}
+	case *QuantileState:
+		t.Q = s.Q
 	}
 	return st
 }
@@ -256,6 +405,24 @@ func Recycle(st State) {
 		entries := s.Entries[:0]
 		*s = EnumState{Entries: entries}
 		statePools[int(KindEnum)].Put(st)
+	case *DCountState:
+		s.reset()
+		statePools[int(KindDCount)].Put(st)
+	case *QuantileState:
+		s.reset()
+		statePools[int(KindQuantile)].Put(st)
+	case *TopKeysState:
+		s.reset()
+		statePools[int(KindTopKeys)].Put(st)
+	case *UnionState:
+		entries := s.Entries[:0]
+		keys := s.Keys[:0]
+		*s = UnionState{Cap: SetCap, Keys: keys, Entries: entries}
+		statePools[int(KindUnion)].Put(st)
+	case *CollectState:
+		entries := s.Entries[:0]
+		*s = CollectState{Cap: SetCap, Entries: entries}
+		statePools[int(KindCollect)].Put(st)
 	}
 }
 

@@ -73,3 +73,55 @@ func TestRecycleReuse(t *testing.T) {
 		t.Errorf("recycled construction allocates %.1f objects/op, want <= 1", avg)
 	}
 }
+
+// TestSketchMergeAllocBudget locks the sketch epoch-report hot path:
+// merging into a warm accumulator must not allocate. A dense HLL merge
+// is a pure register loop, so it is 0-alloc unconditionally; a
+// quantile merge into a recycled accumulator with warmed level
+// capacity (the per-epoch in-tree shape: reset, then fold each child's
+// report) appends into existing backing arrays only.
+func TestSketchMergeAllocBudget(t *testing.T) {
+	t.Run("hll-dense", func(t *testing.T) {
+		mk := func() *DCountState {
+			st := &DCountState{}
+			for i := 0; i < 4000; i++ {
+				st.Add(ids.FromUint64(uint64(i)), value.Int(int64(i)))
+			}
+			return st
+		}
+		dst, src := mk(), mk()
+		if dst.Dense == nil || src.Dense == nil {
+			t.Fatal("states did not promote to dense")
+		}
+		avg := testing.AllocsPerRun(100, func() {
+			if err := dst.Merge(src); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if avg > 0 {
+			t.Errorf("warm dense HLL merge allocates %.1f objects/op, want 0", avg)
+		}
+	})
+	t.Run("quantile", func(t *testing.T) {
+		src := &QuantileState{Q: 0.99}
+		for i := 0; i < 1000; i++ {
+			src.Add(ids.FromUint64(uint64(i)), value.Float(float64(i)))
+		}
+		dst := &QuantileState{Q: 0.99}
+		// Warm cycle: one merge grows dst's level hierarchy to src's
+		// shape; reset keeps the backing arrays.
+		if err := dst.Merge(src); err != nil {
+			t.Fatal(err)
+		}
+		dst.reset()
+		avg := testing.AllocsPerRun(100, func() {
+			dst.reset()
+			if err := dst.Merge(src); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if avg > 0 {
+			t.Errorf("warm quantile merge allocates %.1f objects/op, want 0", avg)
+		}
+	})
+}

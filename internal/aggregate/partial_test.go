@@ -2,7 +2,11 @@ package aggregate
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"reflect"
+	"slices"
+	"sort"
 	"testing"
 
 	"github.com/moara/moara/internal/ids"
@@ -23,6 +27,12 @@ func TestPartialAggregationLawKillSubsets(t *testing.T) {
 	kinds := []Spec{
 		{Kind: KindSum}, {Kind: KindCount}, {Kind: KindMin}, {Kind: KindMax},
 		{Kind: KindAvg}, {Kind: KindStd}, {Kind: KindTopK, K: 3}, {Kind: KindEnum},
+		// Merge-shape-exact sketch kinds ride the same oracle: HLL
+		// registers merge by pointwise max, and the union/collect spill
+		// policies keep shape-invariant survivor sets, so their Results
+		// are byte-deterministic too. (Quantile and topkeys are only
+		// bound-preserving; they get their own harness below.)
+		{Kind: KindDCount}, {Kind: KindUnion}, {Kind: KindCollect},
 	}
 	for trial := 0; trial < 60; trial++ {
 		n := 8 + rng.Intn(56)
@@ -103,5 +113,281 @@ func TestPartialAggregationLawKillSubsets(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Generic merge-law harness over the registry: every registered kind —
+// current and future — gets the partial-aggregation laws for free. For
+// exact kinds (Approximate reports false, plus the merge-shape-exact
+// dcount) any random partition of the population, merged in any random
+// tree shape, must reproduce the single-state ingest Result bit for
+// bit, in any merge order. For the bound-preserving sketches (quantile,
+// topkeys) the law is weaker by design — mergeability means the error
+// bound survives arbitrary merge trees — so the harness checks the
+// merged Result against a ground-truth oracle within the published
+// bound instead of against the single-state bytes.
+
+// specFor builds a representative parameterized Spec for a kind.
+func specFor(k Kind) Spec {
+	switch k {
+	case KindTopK:
+		return Spec{Kind: k, K: 3}
+	case KindTopKeys:
+		return Spec{Kind: k, K: 4}
+	case KindQuantile:
+		return Spec{Kind: k, Q: 0.9}
+	}
+	return Spec{Kind: k}
+}
+
+// mergeShapeExact reports whether a kind's Result must be identical
+// across merge shapes: everything except the rank/frequency sketches
+// (whose compaction paths legitimately depend on the tree) and min/max
+// (whose witness node on a tied extreme is first-seen, hence
+// order-dependent — the extreme value itself is still exact).
+func mergeShapeExact(k Kind) bool {
+	switch k {
+	case KindQuantile, KindTopKeys, KindMin, KindMax:
+		return false
+	}
+	return true
+}
+
+// reduceRandom merges parts pairwise in a random tree shape until one
+// state remains.
+func reduceRandom(t *testing.T, rng *rand.Rand, parts []State) State {
+	t.Helper()
+	for len(parts) > 1 {
+		i := rng.Intn(len(parts))
+		j := rng.Intn(len(parts) - 1)
+		if j >= i {
+			j++
+		}
+		if err := parts[i].Merge(parts[j]); err != nil {
+			t.Fatalf("merge: %v", err)
+		}
+		parts[j] = parts[len(parts)-1]
+		parts = parts[:len(parts)-1]
+	}
+	return parts[0]
+}
+
+func TestMergeLawAllRegisteredKinds(t *testing.T) {
+	for _, kind := range Kinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			for seed := int64(0); seed < 25; seed++ {
+				rng := rand.New(rand.NewSource(seed*1000 + int64(kind)))
+				spec := specFor(kind)
+				n := 30 + rng.Intn(200)
+				nodes := make([]ids.ID, n)
+				vals := make([]value.Value, n)
+				for i := range nodes {
+					nodes[i] = ids.FromKey(fmt.Sprintf("ml-%d-%d", seed, i))
+					// A skewed small-range integer mix keeps heavy
+					// hitters and duplicate set members interesting.
+					if rng.Intn(4) == 0 {
+						vals[i] = value.Float(float64(rng.Intn(40)) + 0.5)
+					} else {
+						vals[i] = value.Int(int64(rng.Intn(12) * rng.Intn(12)))
+					}
+				}
+				direct := spec.New()
+				for i := range nodes {
+					direct.Add(nodes[i], vals[i])
+				}
+				// Random partition of the population into 1..8 parts,
+				// each ingested separately.
+				p := 1 + rng.Intn(8)
+				assign := make([]int, n)
+				for i := range assign {
+					assign[i] = rng.Intn(p)
+				}
+				buildParts := func() []State {
+					parts := make([]State, p)
+					for i := range parts {
+						parts[i] = spec.New()
+					}
+					for i := range nodes {
+						parts[assign[i]].Add(nodes[i], vals[i])
+					}
+					return parts
+				}
+				merged := reduceRandom(t, rng, buildParts())
+				if got, want := merged.Nodes(), direct.Nodes(); got != want {
+					t.Fatalf("seed %d: merged nodes %d, direct %d", seed, got, want)
+				}
+				checkMergeLaw(t, seed, spec, merged, direct, vals)
+				if mergeShapeExact(kind) {
+					// Merge-order invariance: a second, differently
+					// shaped merge tree must reproduce the same Result.
+					again := reduceRandom(t, rng, buildParts())
+					if !reflect.DeepEqual(again.Result(), merged.Result()) {
+						t.Fatalf("seed %d: merge order changed the result:\n got %#v\nwant %#v",
+							seed, again.Result(), merged.Result())
+					}
+				}
+			}
+		})
+	}
+}
+
+// checkMergeLaw compares a merged-partition state against single-state
+// ingest (exact kinds) or against ground truth within the sketch's
+// published bound (quantile: rank error; topkeys: count error).
+func checkMergeLaw(t *testing.T, seed int64, spec Spec, merged, direct State, vals []value.Value) {
+	t.Helper()
+	switch spec.Kind {
+	case KindQuantile:
+		checkQuantileBound(t, seed, spec.Q, merged, vals, "merged")
+		checkQuantileBound(t, seed, spec.Q, direct, vals, "direct")
+	case KindTopKeys:
+		checkTopKeysBound(t, seed, spec.K, merged, vals, "merged")
+		checkTopKeysBound(t, seed, spec.K, direct, vals, "direct")
+	case KindMin, KindMax:
+		// The extreme value is exact; the witness node on a tied value
+		// is first-seen and therefore legitimately order-dependent.
+		mr, dr := merged.Result(), direct.Result()
+		if !value.Equal(mr.Value, dr.Value) || len(mr.Entries) != len(dr.Entries) {
+			t.Fatalf("seed %d %v: merged %v != direct %v", seed, spec, mr, dr)
+		}
+	default:
+		if !reflect.DeepEqual(merged.Result(), direct.Result()) {
+			t.Fatalf("seed %d %v: merged result != direct:\n got %#v\nwant %#v",
+				seed, spec, merged.Result(), direct.Result())
+		}
+	}
+}
+
+// checkQuantileBound asserts that the state's answer has true rank
+// within epsilon of the target rank. quantCap=256 keeps worst-case rank
+// error well under 2% at these sizes; 5% leaves deterministic headroom.
+func checkQuantileBound(t *testing.T, seed int64, q float64, st State, vals []value.Value, label string) {
+	t.Helper()
+	var sorted []float64
+	for _, v := range vals {
+		if f, ok := v.AsFloat(); ok {
+			sorted = append(sorted, f)
+		}
+	}
+	slices.Sort(sorted)
+	res := st.Result()
+	got, ok := res.Value.AsFloat()
+	if !ok {
+		t.Fatalf("seed %d: %s quantile result not numeric: %#v", seed, label, res)
+	}
+	n := float64(len(sorted))
+	// The answer's feasible rank range: [number of items < got,
+	// number of items <= got].
+	lo := float64(sort.SearchFloat64s(sorted, got))
+	hi := float64(sort.SearchFloat64s(sorted, math.Nextafter(got, math.Inf(1))))
+	if hi <= lo {
+		t.Fatalf("seed %d: %s quantile answer %v is not a data point", seed, label, got)
+	}
+	target := q * n
+	const eps = 0.05
+	if hi < target-eps*n || lo > target+eps*n {
+		t.Fatalf("seed %d: %s quantile rank [%v,%v] outside target %v ± %v",
+			seed, label, lo, hi, target, eps*n)
+	}
+}
+
+// checkTopKeysBound asserts the Misra-Gries guarantees: every reported
+// count is an undercount by at most N/(K+1), and every key whose true
+// frequency exceeds N/(K+1) is reported.
+func checkTopKeysBound(t *testing.T, seed int64, k int, st State, vals []value.Value, label string) {
+	t.Helper()
+	truth := make(map[string]int64)
+	var n int64
+	for _, v := range vals {
+		if v.IsValid() {
+			truth[v.Key()]++
+			n++
+		}
+	}
+	bound := n / int64(k+1)
+	res := st.Result()
+	reported := make(map[string]int64, len(res.Counts))
+	for _, kc := range res.Counts {
+		reported[kc.Key] = kc.Count
+		tc, ok := truth[kc.Key]
+		if !ok {
+			t.Fatalf("seed %d: %s reported phantom key %q", seed, label, kc.Key)
+		}
+		if kc.Count > tc || kc.Count < tc-bound {
+			t.Fatalf("seed %d: %s key %q count %d outside [%d, %d]",
+				seed, label, kc.Key, kc.Count, tc-bound, tc)
+		}
+	}
+	for key, tc := range truth {
+		if tc > bound {
+			if _, ok := reported[key]; !ok {
+				t.Fatalf("seed %d: %s heavy hitter %q (count %d > N/(K+1)=%d) missing",
+					seed, label, key, tc, bound)
+			}
+		}
+	}
+}
+
+// TestRecyclePoolRoundTripAllKinds dirties a state of every registered
+// kind, recycles it, and checks that (a) the next state the pool hands
+// out is indistinguishable from a factory-fresh one, and (b) parameter
+// fields (K, Q) are re-stamped from the requesting spec, not inherited
+// from the recycled carcass.
+func TestRecyclePoolRoundTripAllKinds(t *testing.T) {
+	for _, kind := range Kinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			spec := specFor(kind)
+			dirty := spec.New()
+			for i := 0; i < 400; i++ {
+				dirty.Add(ids.FromKey(fmt.Sprintf("rc-%d", i)), value.Int(int64(i%60)))
+			}
+			Recycle(dirty)
+			got := spec.New()
+			if got.Nodes() != 0 {
+				t.Fatalf("pooled state not empty: %d nodes", got.Nodes())
+			}
+			want := registry[kind].newState(spec)
+			if !reflect.DeepEqual(got.Result(), want.Result()) {
+				t.Fatalf("pooled empty result differs from fresh:\n got %#v\nwant %#v",
+					got.Result(), want.Result())
+			}
+			// Ingest equivalence after recycling.
+			for i := 0; i < 50; i++ {
+				v := value.Int(int64(i % 7))
+				node := ids.FromKey(fmt.Sprintf("rc2-%d", i))
+				got.Add(node, v)
+				want.Add(node, v)
+			}
+			if !reflect.DeepEqual(got.Result(), want.Result()) {
+				t.Fatalf("recycled state diverged after ingest:\n got %#v\nwant %#v",
+					got.Result(), want.Result())
+			}
+			Recycle(got)
+			// Parameter re-stamp: request a different K/Q from the pool.
+			switch kind {
+			case KindTopK, KindTopKeys:
+				spec2 := Spec{Kind: kind, K: spec.K + 3}
+				re := spec2.New()
+				switch s := re.(type) {
+				case *TopKState:
+					if s.K != spec2.K {
+						t.Fatalf("pooled TopKState K = %d, want %d", s.K, spec2.K)
+					}
+				case *TopKeysState:
+					if s.K != spec2.K {
+						t.Fatalf("pooled TopKeysState K = %d, want %d", s.K, spec2.K)
+					}
+				}
+				Recycle(re)
+			case KindQuantile:
+				spec2 := Spec{Kind: kind, Q: 0.5}
+				re := spec2.New()
+				if s, ok := re.(*QuantileState); ok && s.Q != 0.5 {
+					t.Fatalf("pooled QuantileState Q = %v, want 0.5", s.Q)
+				}
+				Recycle(re)
+			}
+		})
 	}
 }

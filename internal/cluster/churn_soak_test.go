@@ -2,7 +2,9 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"sort"
 	"testing"
 	"time"
 
@@ -261,6 +263,228 @@ func TestChurnSoak(t *testing.T) {
 	if len(final.groups) != len(oracle) {
 		t.Errorf("post-churn groups = %d, want %d", len(final.groups), len(oracle))
 	}
+}
+
+// soakLoad is the deterministic per-node load attribute used by the
+// sketch soak: (i*37)%100 cycles through every residue mod 100, so any
+// large survivor subset keeps a near-uniform value spread.
+func soakLoad(i int) float64 { return float64((i * 37) % 100) }
+
+// soakHost is a per-node distinct string, so the true distinct count of
+// `host` over any contributor set is exactly its size.
+func soakHost(i int) string { return fmt.Sprintf("h%04d", i) }
+
+// TestSketchChurnSoak runs two standing sketch streams — dcount(host)
+// and p99(load) — through 30 virtual seconds of Poisson kill/join/
+// recover and checks every delivered sample against survivor oracles:
+//
+//   - RootEpoch is monotone on both streams (partial merges of sketch
+//     states never un-order or duplicate root ticks);
+//   - dcount: every node carries a distinct host, so the true distinct
+//     count of a sample IS its Contributors count; the HLL estimate
+//     must track it within the 3-sigma bound for 2^11 registers on
+//     every warm sample, regardless of which survivors contributed;
+//   - p99: with at most a few hundred survivors every value fits in the
+//     summary's level 0, so warm estimates must stay inside the
+//     feasible p99 value window of the live population (rank slack
+//     covers the churn-window coverage loss);
+//   - after churn stops, both streams reconverge to the exact oracles
+//     over live nodes: dcount within the sketch's error bound of the
+//     live count, p99 inside the feasible rank window of the sorted
+//     live loads.
+func TestSketchChurnSoak(t *testing.T) {
+	const (
+		n      = 96
+		period = 250 * time.Millisecond
+		window = 30 * time.Second
+		hllErr = 3 * 1.04 / 45.25 // 3 sigma at p=11 (m=2048, sqrt(m)=45.25)
+	)
+	c := New(churnTestOptions(n, 83, period))
+	for i := range c.Nodes {
+		c.Nodes[i].Store().SetString("host", soakHost(i))
+		c.Nodes[i].Store().SetFloat("load", soakLoad(i))
+	}
+	seedNode := func(i int) {
+		c.Nodes[i].Store().SetString("host", soakHost(i))
+		c.Nodes[i].Store().SetFloat("load", soakLoad(i))
+	}
+
+	type obs struct {
+		rootEpoch    uint64
+		contributors int64
+		est          float64
+		live         int
+		cold         bool
+	}
+	var (
+		dcountSamples, quantSamples []obs
+		dcountWarm, quantWarm       bool
+		recording                   bool
+	)
+	record := func(sink *[]obs, warm *bool) func(core.Sample) {
+		return func(s core.Sample) {
+			if !s.ColdStart {
+				*warm = true
+			}
+			if !recording {
+				return
+			}
+			est, _ := s.Result.Agg.Value.AsFloat()
+			*sink = append(*sink, obs{
+				rootEpoch:    s.RootEpoch,
+				contributors: s.Contributors,
+				est:          est,
+				live:         c.LiveCount(),
+				cold:         s.ColdStart,
+			})
+		}
+	}
+	dreq, err := core.ParseRequest("dcount(host) every 250ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qreq, err := core.ParseRequest("p99(load) every 250ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Subscribe(0, dreq, record(&dcountSamples, &dcountWarm)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Subscribe(0, qreq, record(&quantSamples, &quantWarm)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; !(dcountWarm && quantWarm) && i < 64; i++ {
+		c.RunFor(period)
+	}
+	if !dcountWarm || !quantWarm {
+		t.Fatalf("streams never warmed: dcount=%v p99=%v", dcountWarm, quantWarm)
+	}
+
+	rng := rand.New(rand.NewSource(83))
+	kills := 0
+	for _, ev := range workload.Churn(rng, n, workload.ChurnHalfLife(0.01, period), window, 0.5) {
+		ev := ev
+		c.Net.Schedule(ev.At, func() {
+			switch ev.Kind {
+			case workload.ChurnKill:
+				candidates := c.LiveIndices()[1:]
+				if len(candidates) == 0 {
+					return
+				}
+				kills++
+				c.Kill(candidates[rng.Intn(len(candidates))])
+			case workload.ChurnJoin:
+				seedNode(c.AddNode())
+			case workload.ChurnRecover:
+				var dead []int
+				for i := 1; i < len(c.Nodes); i++ {
+					if c.Down(i) {
+						dead = append(dead, i)
+					}
+				}
+				if len(dead) == 0 {
+					seedNode(c.AddNode())
+					return
+				}
+				c.Recover(dead[rng.Intn(len(dead))])
+			}
+		})
+	}
+	recording = true
+	c.RunFor(window)
+
+	minSamples := int(window/period) * 8 / 10
+	if len(dcountSamples) < minSamples || len(quantSamples) < minSamples {
+		t.Fatalf("stream starved: dcount=%d p99=%d samples over %d epochs",
+			len(dcountSamples), len(quantSamples), int(window/period))
+	}
+
+	// dcount: monotone epochs, and each warm estimate within the HLL
+	// error bound of its own contributor count (the exact truth, since
+	// hosts are distinct).
+	prevRoot := uint64(0)
+	var worstRel float64
+	for i, o := range dcountSamples {
+		if o.rootEpoch < prevRoot {
+			t.Fatalf("dcount sample %d: RootEpoch went backward (%d -> %d)", i, prevRoot, o.rootEpoch)
+		}
+		prevRoot = o.rootEpoch
+		if o.cold || o.contributors == 0 {
+			continue
+		}
+		rel := (o.est - float64(o.contributors)) / float64(o.contributors)
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > worstRel {
+			worstRel = rel
+		}
+		if rel > hllErr {
+			t.Errorf("dcount sample %d: estimate %.0f vs %d contributors (relErr %.3f > %.3f)",
+				i, o.est, o.contributors, rel, hllErr)
+		}
+	}
+
+	// p99: monotone epochs, and every warm estimate stays a real load
+	// value; the tight feasible-rank window is checked against the
+	// survivor oracle in the quiet tail, where the contributor set is
+	// known exactly. Rank slack 0.05 covers summary error plus a
+	// straggler report.
+	p99Window := func() (lo, hi float64) {
+		var loads []float64
+		for i := range c.Nodes {
+			if !c.Down(i) {
+				loads = append(loads, soakLoad(i))
+			}
+		}
+		sort.Float64s(loads)
+		w := len(loads)
+		lor := int(math.Ceil(0.94*float64(w))) - 1
+		hir := int(math.Ceil(float64(w))) - 1
+		if lor < 0 {
+			lor = 0
+		}
+		return loads[lor], loads[hir]
+	}
+	prevRoot = 0
+	for i, o := range quantSamples {
+		if o.rootEpoch < prevRoot {
+			t.Fatalf("p99 sample %d: RootEpoch went backward (%d -> %d)", i, prevRoot, o.rootEpoch)
+		}
+		prevRoot = o.rootEpoch
+		if o.cold || o.contributors == 0 {
+			continue
+		}
+		if o.est < 0 || o.est > 99 {
+			t.Fatalf("p99 sample %d: estimate %v outside the attribute range", i, o.est)
+		}
+	}
+
+	// Quiet tail: churn stops, both streams must reconverge to the exact
+	// oracles over live nodes and hold there.
+	c.RunFor(40 * period)
+	var live int64
+	for i := range c.Nodes {
+		if !c.Down(i) {
+			live++
+		}
+	}
+	finalD := dcountSamples[len(dcountSamples)-1]
+	relD := math.Abs(finalD.est-float64(live)) / float64(live)
+	if relD > hllErr {
+		t.Errorf("post-churn dcount %.0f vs %d live (relErr %.3f > %.3f)", finalD.est, live, relD, hllErr)
+	}
+	if finalD.contributors != live {
+		t.Errorf("post-churn dcount contributors = %d, want %d live", finalD.contributors, live)
+	}
+	finalQ := quantSamples[len(quantSamples)-1]
+	lo, hi := p99Window()
+	if finalQ.est < lo || finalQ.est > hi {
+		t.Errorf("post-churn p99 = %v outside feasible window [%v, %v] over %d live nodes",
+			finalQ.est, lo, hi, live)
+	}
+	t.Logf("sketch soak: %d kills, %d dcount samples (worst relErr %.3f), %d p99 samples, final dcount %.0f/%d live, final p99 %v in [%v, %v]",
+		kills, len(dcountSamples), worstRel, len(quantSamples), finalD.est, live, finalQ.est, lo, hi)
 }
 
 // TestStandingRepairAfterInteriorKill is the deterministic repair bound

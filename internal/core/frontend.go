@@ -223,8 +223,8 @@ func (n *Node) Execute(req Request, cb func(Result, error)) {
 
 func (fe *frontend) execute(req Request, cb func(Result, error)) {
 	n := fe.n
-	if req.Spec.Kind == aggregate.KindInvalid {
-		cb(Result{}, fmt.Errorf("core: invalid aggregation spec"))
+	if err := req.Spec.Validate(); err != nil {
+		cb(Result{}, fmt.Errorf("core: invalid aggregation spec: %w", err))
 		return
 	}
 	if req.Attr == "" {

@@ -25,6 +25,10 @@ import (
 //	top3(load) where (service_x = true) and (apache = true)
 //	avg(load) where group = db every 2s
 //	avg(mem_util) group by slice every 500ms
+//	quantile(load, 0.99) group by slice every 2s
+//	p95(load) where apache = true
+//	dcount(os) every 2s
+//	topkeys(os, 4) group by site
 func parseRequestText(s string) (Request, error) {
 	text := strings.TrimSpace(s)
 	if text == "" {
@@ -46,11 +50,21 @@ func parseRequestText(s string) (Request, error) {
 	}
 	closeIdx += open
 
-	spec, err := aggregate.ParseSpec(strings.TrimSpace(text[:open]))
+	// Two-argument forms — quantile(attr, q), topkeys(attr, k) — carry
+	// the parameter after a comma; everything else takes a bare attr.
+	attrName := strings.TrimSpace(text[open+1 : closeIdx])
+	arg := ""
+	if comma := strings.IndexByte(attrName, ','); comma >= 0 {
+		arg = strings.TrimSpace(attrName[comma+1:])
+		attrName = strings.TrimSpace(attrName[:comma])
+		if arg == "" || strings.ContainsRune(arg, ',') {
+			return Request{}, fmt.Errorf("core: bad aggregate argument list in %q", s)
+		}
+	}
+	spec, err := aggregate.ParseSpecArg(strings.TrimSpace(text[:open]), arg)
 	if err != nil {
 		return Request{}, err
 	}
-	attrName := strings.TrimSpace(text[open+1 : closeIdx])
 	if attrName == "" {
 		return Request{}, fmt.Errorf("core: empty attribute in %q", s)
 	}

@@ -22,6 +22,20 @@ func FuzzParseRequestText(f *testing.F) {
 		"top3(load) where (service_x = true) and (apache = true)",
 		"avg(load) where group = db every 2s",
 		"avg(mem_util) group by slice every 500ms",
+		// Sketch aggregates and their argument lists.
+		"dcount(os) every 2s",
+		"quantile(load, 0.99) group by slice",
+		"p99(load) where apache = true",
+		"p99.9(load)",
+		"topkeys(os, 4) group by site",
+		"topkeys5(os)",
+		"union(slice)",
+		"collect(load) every 1s",
+		"quantile(x)",
+		"quantile(x, 2)",
+		"quantile(x,,)",
+		"topkeys(x, 0)",
+		"sum(x, 3)",
 		// Clause keywords as attribute names and literals.
 		"sum(every) where every = every",
 		"count(*) where group = group",

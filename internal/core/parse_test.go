@@ -54,6 +54,52 @@ func TestParseRequestForms(t *testing.T) {
 	}
 }
 
+func TestParseRequestSketchForms(t *testing.T) {
+	tests := []struct {
+		in       string
+		wantAttr string
+		wantKind aggregate.Kind
+		wantK    int
+		wantQ    float64
+		wantPred bool
+		wantBy   string
+	}{
+		{"dcount(os)", "os", aggregate.KindDCount, 0, 0, false, ""},
+		{"countdistinct(os)", "os", aggregate.KindDCount, 0, 0, false, ""},
+		{"DCOUNT(os) where apache = true", "os", aggregate.KindDCount, 0, 0, true, ""},
+		{"quantile(load, 0.99)", "load", aggregate.KindQuantile, 0, 0.99, false, ""},
+		{"quantile(load,0.5) group by slice", "load", aggregate.KindQuantile, 0, 0.5, false, "slice"},
+		{"percentile(load, 0.95)", "load", aggregate.KindQuantile, 0, 0.95, false, ""},
+		{"p99(load)", "load", aggregate.KindQuantile, 0, 0.99, false, ""},
+		{"p99.9(load) where apache = true", "load", aggregate.KindQuantile, 0, 0.999, true, ""},
+		{"P50(load)", "load", aggregate.KindQuantile, 0, 0.5, false, ""},
+		{"topkeys(os)", "os", aggregate.KindTopKeys, aggregate.DefaultTopKeys, 0, false, ""},
+		{"topkeys(os, 4) group by site", "os", aggregate.KindTopKeys, 4, 0, false, "site"},
+		{"topkeys5(os)", "os", aggregate.KindTopKeys, 5, 0, false, ""},
+		{"union(slice)", "slice", aggregate.KindUnion, 0, 0, false, ""},
+		{"collect(load) where apache = true", "load", aggregate.KindCollect, 0, 0, true, ""},
+	}
+	for _, tc := range tests {
+		req, err := parseRequestText(tc.in)
+		if err != nil {
+			t.Errorf("parse %q: %v", tc.in, err)
+			continue
+		}
+		if req.Attr != tc.wantAttr {
+			t.Errorf("%q: attr = %q, want %q", tc.in, req.Attr, tc.wantAttr)
+		}
+		if req.Spec.Kind != tc.wantKind || req.Spec.K != tc.wantK || req.Spec.Q != tc.wantQ {
+			t.Errorf("%q: spec = %+v", tc.in, req.Spec)
+		}
+		if (req.Pred != nil) != tc.wantPred {
+			t.Errorf("%q: pred present = %v, want %v", tc.in, req.Pred != nil, tc.wantPred)
+		}
+		if req.GroupBy != tc.wantBy {
+			t.Errorf("%q: group by = %q, want %q", tc.in, req.GroupBy, tc.wantBy)
+		}
+	}
+}
+
 func TestParseRequestEveryForms(t *testing.T) {
 	tests := []struct {
 		in         string
@@ -141,6 +187,24 @@ func TestParseRequestErrors(t *testing.T) {
 		"avg(x) group by slice group by os",
 		"avg(x) where y = 1 group by",
 		"avg(x) trailing garbage",
+		// Sketch argument-list errors.
+		"quantile(x)",         // quantile requires a q argument
+		"quantile(x, 2)",      // q outside (0,1)
+		"quantile(x, 0)",      // q outside (0,1)
+		"quantile(x, nan)",    // non-numeric q
+		"quantile(x,)",        // empty argument
+		"quantile(x,,)",       // argument itself contains a comma
+		"quantile(x, 0.5, 3)", // too many arguments
+		"p0(x)",               // pNN must be in (0,100)
+		"p100(x)",             // pNN must be in (0,100)
+		"topkeys(x, 0)",       // k must be positive
+		"topkeys(x, -2)",      // k must be positive
+		"topkeys(x, three)",   // non-numeric k
+		"topkeys0(x)",         // suffix form k must be positive
+		"sum(x, 3)",           // exact aggregates take no argument
+		"dcount(os, 4)",       // dcount takes no argument
+		"union(slice, 9)",     // union takes no argument
+		"top3(load, 4)",       // prefix forms take no argument
 	}
 	for _, in := range bad {
 		if _, err := parseRequestText(in); err == nil {

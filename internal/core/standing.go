@@ -770,8 +770,8 @@ func (n *Node) Unsubscribe(sid QueryID) error {
 
 func (fe *frontend) subscribe(req Request, cb func(Sample)) (QueryID, error) {
 	n := fe.n
-	if req.Spec.Kind == aggregate.KindInvalid {
-		return QueryID{}, fmt.Errorf("core: invalid aggregation spec")
+	if err := req.Spec.Validate(); err != nil {
+		return QueryID{}, fmt.Errorf("core: invalid aggregation spec: %w", err)
 	}
 	if req.Attr == "" {
 		return QueryID{}, fmt.Errorf("core: empty query attribute")

@@ -354,6 +354,60 @@ func TestSubsumptionSharesOneInstall(t *testing.T) {
 	}
 }
 
+func TestSketchSpellingsShareOneInstall(t *testing.T) {
+	fb := newFakeBackend()
+	s := New(fb, Options{})
+	ctx := context.Background()
+
+	// Each pair spells the same canonical sketch request two ways; the
+	// second spelling must attach to the first install, not create one.
+	pairs := [][2]string{
+		{"quantile(cpu, 0.99) every 2s", "p99(cpu) every 2s"},
+		{"quantile(load, 0.999) every 1s", "p99.9(load) every 1s"},
+		{"dcount(os) every 2s", "countdistinct(os) every 2s"},
+		{"topkeys(os, 5) every 2s", "topkeys5(os) every 2s"},
+	}
+	var subs []core.Sub
+	for _, p := range pairs {
+		a, err := s.Subscribe(ctx, p[0], func(core.Sample) {})
+		if err != nil {
+			t.Fatalf("subscribe %q: %v", p[0], err)
+		}
+		b, err := s.Subscribe(ctx, p[1], func(core.Sample) {})
+		if err != nil {
+			t.Fatalf("subscribe %q: %v", p[1], err)
+		}
+		if a.ID() != b.ID() {
+			t.Errorf("%q and %q did not share a stream", p[0], p[1])
+		}
+		subs = append(subs, a, b)
+	}
+	if fb.installed() != len(pairs) {
+		t.Fatalf("backend has %d installs, want %d", fb.installed(), len(pairs))
+	}
+	st := s.Stats()
+	if st.Installs != int64(len(pairs)) || st.Attaches != int64(len(pairs)) {
+		t.Fatalf("stats = %+v", st)
+	}
+	// A different rank on the same attribute is its own stream.
+	c, err := s.Subscribe(ctx, "quantile(cpu, 0.5) every 2s", func(core.Sample) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb.installed() != len(pairs)+1 {
+		t.Fatalf("p50 reused an install: %d, want %d", fb.installed(), len(pairs)+1)
+	}
+	subs = append(subs, c)
+	for _, sub := range subs {
+		if err := sub.Unsubscribe(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fb.installed() != 0 {
+		t.Fatalf("%d streams left installed", fb.installed())
+	}
+}
+
 func TestSubscribeInstallFailurePropagates(t *testing.T) {
 	fb := newFakeBackend()
 	fb.subErr = errors.New("install failed")

@@ -3,6 +3,7 @@ package transport
 import (
 	"bytes"
 	"encoding/gob"
+	"fmt"
 	"reflect"
 	"testing"
 	"time"
@@ -34,6 +35,44 @@ func TestGobRoundTripAllWireTypes(t *testing.T) {
 
 	topk := &aggregate.TopKState{K: 2, N: 1,
 		Entries: []aggregate.Entry{{Node: nodeA, Value: value.Int(9)}}}
+
+	// Sketch states, in their interesting shapes: a sparse and a dense
+	// HLL (the dense form is what a high-cardinality root holds), a
+	// quantile compactor with a populated level hierarchy, Misra-Gries
+	// counters, a union with spill, and a collect at cap.
+	dcountSparse := &aggregate.DCountState{}
+	dcountSparse.Add(nodeA, value.Str("linux"))
+	dcountSparse.Add(nodeB, value.Str("plan9"))
+	dcountDense := &aggregate.DCountState{}
+	for i := 0; i < 4000; i++ {
+		dcountDense.Add(nodeA, value.Int(int64(i)))
+	}
+	if dcountDense.Dense == nil {
+		t.Fatal("dense-mode HLL sample did not promote")
+	}
+	quant := &aggregate.QuantileState{Q: 0.99, N: 3, Coin: 5,
+		Levels: [][]float64{{1.5, 2.5}, {7}}}
+	topkeys := &aggregate.TopKeysState{K: 2, N: 5,
+		Counts: map[string]int64{"linux": 3, "plan9": 2}}
+	union := &aggregate.UnionState{Cap: 2, N: 5, Dropped: true,
+		Keys: []string{"a", "b"},
+		Entries: []aggregate.Entry{
+			{Node: nodeA, Value: value.Str("a")},
+			{Node: nodeB, Value: value.Str("b")},
+		}}
+	collect := &aggregate.CollectState{Cap: 2, N: 3,
+		Entries: []aggregate.Entry{
+			{Node: nodeA, Value: value.Int(1)},
+			{Node: nodeB, Value: value.Int(2)},
+		}}
+
+	// A spilled collect nested inside a keyed GroupedState: the shape an
+	// epoch report of `collect(x) group by slice` has at a subtree root
+	// that saw more contributions than SetCap.
+	groupedCollect := aggregate.NewGrouped(aggregate.Spec{Kind: aggregate.KindCollect}, 8)
+	for i := 0; i < aggregate.SetCap+8; i++ {
+		groupedCollect.AddKeyed(ids.FromKey(fmt.Sprintf("spill-node-%03d", i)), "cs101", value.Int(int64(i)))
+	}
 
 	samples := []any{
 		pastry.RouteMsg{Key: nodeA, Origin: nodeB, Hops: 3,
@@ -89,6 +128,19 @@ func TestGobRoundTripAllWireTypes(t *testing.T) {
 			State: &aggregate.EnumState{Entries: topk.Entries}},
 		core.ResponseMsg{QID: qid, Group: "g",
 			State: &aggregate.StdState{N: 3, Sum: 6, SumSq: 14}},
+		core.ResponseMsg{QID: qid, Group: "g", State: dcountSparse},
+		core.ResponseMsg{QID: qid, Group: "g", State: dcountDense},
+		core.ResponseMsg{QID: qid, Group: "g", State: quant},
+		core.ResponseMsg{QID: qid, Group: "g", State: topkeys},
+		core.ResponseMsg{QID: qid, Group: "g", State: union},
+		core.ResponseMsg{QID: qid, Group: "g", State: collect},
+		// The satellite shapes: a dense HLL and a spilled collect riding
+		// inside keyed GroupedStates inside a coalesced BatchMsg, exactly
+		// as a busy subtree root's epoch reports cross the wire.
+		core.BatchMsg{Items: []any{
+			core.EpochReportMsg{SID: qid, Group: "g", Epoch: 21, State: groupedCollect, Np: 3},
+			core.EpochReportMsg{SID: qid, Group: "g", Epoch: 21, State: dcountDense, Np: 3},
+		}},
 		value.Str("plain value"),
 	}
 

@@ -64,6 +64,11 @@ var wireTypes = []any{
 	&aggregate.TopKState{},
 	&aggregate.EnumState{},
 	&aggregate.StdState{},
+	&aggregate.DCountState{},
+	&aggregate.QuantileState{},
+	&aggregate.TopKeysState{},
+	&aggregate.UnionState{},
+	&aggregate.CollectState{},
 	value.Value{},
 }
 

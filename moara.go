@@ -11,6 +11,19 @@
 //	avg(mem_util) group by slice where apache = true
 //	top3(load) where (slice = cs101 or slice = cs202) and cpu_util < 90
 //
+// Alongside the paper's exact aggregates (sum, count, min, max, avg,
+// std, top-k, enum), a mergeable-sketch family answers with bounded
+// per-node state and a tested error bound: dcount (HyperLogLog distinct
+// count, ±2.3%), quantile(x, q) / pNN(x) (KLL-style rank quantiles),
+// topkeys(x, k) (Misra-Gries heavy hitters), and union / collect
+// (capped distinct-value and per-node lists):
+//
+//	dcount(os)
+//	p99(latency) group by slice
+//	quantile(load, 0.5) where apache = true
+//	topkeys(os, 4)
+//	union(slice)
+//
 // A grouped query partitions the answer by each node's value of the
 // group-by attribute — "avg(mem_util) per slice" — and still costs one
 // tree dissemination: per-key sub-aggregates merge hop-by-hop inside
@@ -397,7 +410,14 @@ func FormatGroups(res Result) []string {
 	sort.Strings(keys)
 	out := make([]string, 0, len(keys))
 	for _, k := range keys {
-		out = append(out, fmt.Sprintf("%s=%s", k, res.Groups[k].Value))
+		g := res.Groups[k]
+		if g.Counts != nil || g.Entries != nil {
+			// List-valued sub-results (top-k, enum, union, collect,
+			// topkeys) render their full lists, not just the scalar.
+			out = append(out, fmt.Sprintf("%s=%s", k, g))
+			continue
+		}
+		out = append(out, fmt.Sprintf("%s=%s", k, g.Value))
 	}
 	return out
 }
