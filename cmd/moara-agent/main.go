@@ -41,13 +41,20 @@ func main() {
 	samples := flag.Int("samples", 5, "epochs to stream per standing query in shell mode")
 	coalesce := flag.Duration("coalesce", 0,
 		"wire coalescing window (0 = one handler turn, -1ns = off)")
+	codecName := flag.String("codec", "columnar",
+		"outgoing wire codec: columnar or gob (inbound is sniffed, so either peer kind is accepted)")
 	flag.Parse()
 
 	roster, err := loadRoster(*peers, *peersFile)
 	if err != nil {
 		fatal(err)
 	}
+	codec, err := transport.ParseCodec(*codecName)
+	if err != nil {
+		fatal(err)
+	}
 	var opts transport.Options
+	opts.Codec = codec
 	if *coalesce < 0 {
 		opts.Node.CoalesceWindow = core.CoalesceOff
 	} else {
@@ -80,6 +87,12 @@ func main() {
 		case line == "" || strings.HasPrefix(line, "#"):
 		case line == "quit" || line == "exit":
 			return
+		case line == "stats":
+			s := node.Stats()
+			fmt.Printf("  msgs in/out: %d/%d  bytes in/out: %d/%d\n",
+				s.MsgsIn, s.MsgsOut, s.BytesIn, s.BytesOut)
+			fmt.Printf("  decode errors: %d  dials: %d (errors %d, suppressed %d)\n",
+				s.DecodeErrors, s.Dials, s.DialErrors, s.DialsSuppressed)
 		case strings.HasPrefix(line, "set "):
 			parts := strings.Fields(line)
 			if len(parts) != 3 {

@@ -200,6 +200,22 @@ var figures = []struct {
 		}
 		return experiments.RunSketches(o)
 	}},
+	{"wire", "wire codec: gob vs framed columnar + real-TCP standing harness", func(p string) *experiments.Table {
+		o := experiments.WireOptions{}
+		switch p {
+		case "quick":
+			// The acceptance contract: columnar >=5x faster than gob on
+			// the 16-group epoch report, strictly fewer bytes, plus the
+			// real-socket harness at N=256.
+			o = experiments.WireOptions{TCPNodes: 256, Epochs: 5}
+		case "scale":
+			// Real TCP at N in the thousands: the honest-socket run the
+			// codec work unlocks.
+			o = experiments.WireOptions{TCPNodes: 1000, Epochs: 6, Period: 500 * time.Millisecond}
+		default: // paper-profile defaults
+		}
+		return experiments.RunWire(o)
+	}},
 	{"scaleshards", "sharded-scheduler sweep: shard counts at N=10k + the N=100k row", func(p string) *experiments.Table {
 		o := experiments.ScaleShardsOptions{}
 		switch p {
@@ -357,12 +373,12 @@ func main() {
 		if !selected[f.name] {
 			continue
 		}
-		// The scale profile only re-parameterizes the scaling sweeps;
-		// any other figure runs (and is labeled) at quick parameters
-		// rather than stamping quick-grade data with a distinct
-		// profile name.
+		// The scale profile only re-parameterizes the scaling sweeps
+		// (and the wire figure's big-N TCP harness); any other figure
+		// runs (and is labeled) at quick parameters rather than
+		// stamping quick-grade data with a distinct profile name.
 		effective := *profile
-		if *profile == "scale" && f.name != "scale" && f.name != "scaleshards" {
+		if *profile == "scale" && f.name != "scale" && f.name != "scaleshards" && f.name != "wire" {
 			effective = "quick"
 		}
 		var msBefore runtime.MemStats

@@ -1,0 +1,825 @@
+// Columnar wire codec for aggregate states — the hand-rolled binary
+// encoding the TCP transport ships instead of reflection-driven gob.
+// Every State kind gets a one-byte tag and a compact body; the keyed
+// GroupedState — the payload of every epoch report and query response —
+// encodes its keys as one length-prefixed column and its per-key
+// sub-states as per-kind value vectors (validity bytes, varint counts,
+// fixed-width floats), so a 16-group AVG report is a few hundred bytes
+// of straight-line appends instead of a gob type-descriptor dance.
+//
+// Decoding is the exact inverse and is shape-faithful: nil vs empty
+// slices and maps survive (wirefmt's length+1 convention), so a decoded
+// state DeepEquals the encoded one — the cross-codec equivalence sweep
+// in internal/transport holds every registered kind to that bar.
+// All readers are bounds-checked; arbitrary input errors cleanly.
+package aggregate
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/moara/moara/internal/ids"
+	"github.com/moara/moara/internal/value"
+	"github.com/moara/moara/internal/wirefmt"
+)
+
+// State tags. Leaf kinds reuse their Kind byte; the keyed container and
+// the nil state get tags outside the Kind range. (Tag 255 is reserved
+// for a gob-wrapped fallback at the message layer — see internal/core.)
+const (
+	wireNilState  = 0
+	wireGrouped   = 100
+	maxStateDepth = 6 // nesting bound: Grouped→Other→... on hostile input
+)
+
+// AppendSpec appends a Spec (kind byte, varint K, float Q). The zero
+// Spec encodes as kind 0 and round-trips, so zero-value states survive.
+func AppendSpec(b []byte, s Spec) []byte {
+	b = append(b, byte(s.Kind))
+	b = wirefmt.AppendVarint(b, int64(s.K))
+	return wirefmt.AppendFloat(b, s.Q)
+}
+
+// ReadSpec decodes one AppendSpec-encoded Spec. Unregistered non-zero
+// kinds are corrupt (a decoder must never manufacture states it cannot
+// construct).
+func ReadSpec(b []byte) (Spec, []byte, error) {
+	k, b, err := wirefmt.Byte(b)
+	if err != nil {
+		return Spec{}, nil, err
+	}
+	kk, b, err := wirefmt.Varint(b)
+	if err != nil {
+		return Spec{}, nil, err
+	}
+	q, b, err := wirefmt.Float(b)
+	if err != nil {
+		return Spec{}, nil, err
+	}
+	s := Spec{Kind: Kind(k), K: int(kk), Q: q}
+	if s.Kind != KindInvalid {
+		if _, ok := registry[s.Kind]; !ok {
+			return Spec{}, nil, fmt.Errorf("aggregate: wire spec kind %d: %w", k, wirefmt.ErrCorrupt)
+		}
+	}
+	return s, b, nil
+}
+
+// AppendState appends one state (tag + body). A nil state is one byte.
+// State implementations outside this package's registry report an
+// error, which the message layer answers with its gob fallback.
+func AppendState(b []byte, st State) ([]byte, error) {
+	if st == nil {
+		return append(b, wireNilState), nil
+	}
+	switch s := st.(type) {
+	case *GroupedState:
+		b = append(b, wireGrouped)
+		return appendGroupedBody(b, s)
+	case *SumState:
+		return appendSumBody(append(b, byte(KindSum)), s), nil
+	case *CountState:
+		b = append(b, byte(KindCount))
+		return wirefmt.AppendVarint(b, s.N), nil
+	case *ExtremeState:
+		k := KindMin
+		if s.Max {
+			k = KindMax
+		}
+		b = append(b, byte(k))
+		return appendExtremeBody(b, s), nil
+	case *AvgState:
+		return appendSumBody(append(b, byte(KindAvg)), &s.Sum), nil
+	case *TopKState:
+		b = append(b, byte(KindTopK))
+		b = wirefmt.AppendVarint(b, int64(s.K))
+		b = wirefmt.AppendVarint(b, s.N)
+		return appendEntries(b, s.Entries), nil
+	case *EnumState:
+		b = append(b, byte(KindEnum))
+		return appendEntries(b, s.Entries), nil
+	case *StdState:
+		b = append(b, byte(KindStd))
+		b = wirefmt.AppendVarint(b, s.N)
+		b = wirefmt.AppendFloat(b, s.Sum)
+		return wirefmt.AppendFloat(b, s.SumSq), nil
+	case *DCountState:
+		b = append(b, byte(KindDCount))
+		return appendDCountBody(b, s), nil
+	case *QuantileState:
+		b = append(b, byte(KindQuantile))
+		return appendQuantileBody(b, s), nil
+	case *TopKeysState:
+		b = append(b, byte(KindTopKeys))
+		return appendTopKeysBody(b, s), nil
+	case *UnionState:
+		b = append(b, byte(KindUnion))
+		b = wirefmt.AppendVarint(b, int64(s.Cap))
+		b = wirefmt.AppendVarint(b, s.N)
+		b = wirefmt.AppendBool(b, s.Dropped)
+		b = wirefmt.AppendLen(b, len(s.Keys), s.Keys == nil)
+		for _, k := range s.Keys {
+			b = wirefmt.AppendString(b, k)
+		}
+		return appendEntries(b, s.Entries), nil
+	case *CollectState:
+		b = append(b, byte(KindCollect))
+		b = wirefmt.AppendVarint(b, int64(s.Cap))
+		b = wirefmt.AppendVarint(b, s.N)
+		return appendEntries(b, s.Entries), nil
+	}
+	return b, fmt.Errorf("aggregate: no columnar encoding for %T", st)
+}
+
+// ReadState decodes one AppendState-encoded state, returning the
+// unconsumed remainder. Arbitrary input errors cleanly: every count is
+// bounds-checked against the remaining bytes before allocation, and
+// container nesting is depth-limited.
+func ReadState(b []byte) (State, []byte, error) {
+	return readState(b, 0)
+}
+
+func readState(b []byte, depth int) (State, []byte, error) {
+	if depth > maxStateDepth {
+		return nil, nil, fmt.Errorf("aggregate: state nesting too deep: %w", wirefmt.ErrCorrupt)
+	}
+	tag, b, err := wirefmt.Byte(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch tag {
+	case wireNilState:
+		return nil, b, nil
+	case wireGrouped:
+		return readGroupedBody(b, depth)
+	case byte(KindSum):
+		s := &SumState{}
+		b, err := readSumBody(b, s)
+		return s, b, err
+	case byte(KindCount):
+		n, b, err := wirefmt.Varint(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &CountState{N: n}, b, nil
+	case byte(KindMin), byte(KindMax):
+		return readExtremeBody(b, tag == byte(KindMax))
+	case byte(KindAvg):
+		s := &AvgState{}
+		b, err := readSumBody(b, &s.Sum)
+		return s, b, err
+	case byte(KindTopK):
+		k, b, err := wirefmt.Varint(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		n, b, err := wirefmt.Varint(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		es, b, err := readEntries(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &TopKState{K: int(k), N: n, Entries: es}, b, nil
+	case byte(KindEnum):
+		es, b, err := readEntries(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &EnumState{Entries: es}, b, nil
+	case byte(KindStd):
+		n, b, err := wirefmt.Varint(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		sum, b, err := wirefmt.Float(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		sq, b, err := wirefmt.Float(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &StdState{N: n, Sum: sum, SumSq: sq}, b, nil
+	case byte(KindDCount):
+		return readDCountBody(b)
+	case byte(KindQuantile):
+		return readQuantileBody(b)
+	case byte(KindTopKeys):
+		return readTopKeysBody(b)
+	case byte(KindUnion):
+		return readUnionBody(b)
+	case byte(KindCollect):
+		cap_, b, err := wirefmt.Varint(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		n, b, err := wirefmt.Varint(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		es, b, err := readEntries(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &CollectState{Cap: int(cap_), N: n, Entries: es}, b, nil
+	}
+	return nil, nil, fmt.Errorf("aggregate: wire state tag %d: %w", tag, wirefmt.ErrCorrupt)
+}
+
+// ---------------------------------------------------------------------
+// Leaf bodies
+
+func appendSumBody(b []byte, s *SumState) []byte {
+	b = wirefmt.AppendBool(b, s.Valid)
+	b = wirefmt.AppendVarint(b, s.N)
+	if s.Valid {
+		b = s.V.AppendWire(b)
+	}
+	return b
+}
+
+func readSumBody(b []byte, s *SumState) ([]byte, error) {
+	valid, b, err := wirefmt.Bool(b)
+	if err != nil {
+		return nil, err
+	}
+	n, b, err := wirefmt.Varint(b)
+	if err != nil {
+		return nil, err
+	}
+	s.Valid, s.N = valid, n
+	if valid {
+		s.V, b, err = value.ReadWire(b)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+func appendExtremeBody(b []byte, s *ExtremeState) []byte {
+	b = wirefmt.AppendBool(b, s.Valid)
+	b = wirefmt.AppendVarint(b, s.N)
+	if s.Valid {
+		b = append(b, s.Best.Node[:]...)
+		b = s.Best.Value.AppendWire(b)
+	}
+	return b
+}
+
+func readExtremeBody(b []byte, max bool) (State, []byte, error) {
+	valid, b, err := wirefmt.Bool(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	n, b, err := wirefmt.Varint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := &ExtremeState{Max: max, Valid: valid, N: n}
+	if valid {
+		raw, rest, err := wirefmt.Bytes(b, ids.Bytes)
+		if err != nil {
+			return nil, nil, err
+		}
+		copy(s.Best.Node[:], raw)
+		s.Best.Value, b, err = value.ReadWire(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return s, b, nil
+}
+
+func appendDCountBody(b []byte, s *DCountState) []byte {
+	b = wirefmt.AppendVarint(b, s.N)
+	b = wirefmt.AppendLen(b, len(s.Sparse), s.Sparse == nil)
+	if len(s.Sparse) > 0 {
+		idxs := make([]int, 0, len(s.Sparse))
+		for idx := range s.Sparse {
+			idxs = append(idxs, int(idx))
+		}
+		sort.Ints(idxs)
+		for _, idx := range idxs {
+			b = wirefmt.AppendUvarint(b, uint64(idx))
+		}
+		for _, idx := range idxs {
+			b = append(b, s.Sparse[uint16(idx)])
+		}
+	}
+	b = wirefmt.AppendLen(b, len(s.Dense), s.Dense == nil)
+	return append(b, s.Dense...)
+}
+
+func readDCountBody(b []byte) (State, []byte, error) {
+	n, b, err := wirefmt.Varint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := &DCountState{N: n}
+	cnt, isNil, b, err := wirefmt.Len(b, 2)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !isNil {
+		s.Sparse = make(map[uint16]uint8, cnt)
+		idxs := make([]uint16, cnt)
+		for i := range idxs {
+			v, rest, err := wirefmt.Uvarint(b)
+			if err != nil {
+				return nil, nil, err
+			}
+			if v >= hllM {
+				return nil, nil, fmt.Errorf("aggregate: HLL index %d: %w", v, wirefmt.ErrCorrupt)
+			}
+			idxs[i], b = uint16(v), rest
+		}
+		rhos, rest, err := wirefmt.Bytes(b, cnt)
+		if err != nil {
+			return nil, nil, err
+		}
+		b = rest
+		for i, idx := range idxs {
+			s.Sparse[idx] = rhos[i]
+		}
+	}
+	dn, isNil, b, err := wirefmt.Len(b, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !isNil {
+		if dn != hllM {
+			return nil, nil, fmt.Errorf("aggregate: dense HLL length %d: %w", dn, wirefmt.ErrCorrupt)
+		}
+		raw, rest, err := wirefmt.Bytes(b, dn)
+		if err != nil {
+			return nil, nil, err
+		}
+		s.Dense = append([]uint8(nil), raw...)
+		b = rest
+	}
+	return s, b, nil
+}
+
+func appendQuantileBody(b []byte, s *QuantileState) []byte {
+	b = wirefmt.AppendFloat(b, s.Q)
+	b = wirefmt.AppendVarint(b, s.N)
+	b = wirefmt.AppendUvarint(b, s.Coin)
+	b = wirefmt.AppendLen(b, len(s.Levels), s.Levels == nil)
+	for _, lvl := range s.Levels {
+		b = wirefmt.AppendLen(b, len(lvl), lvl == nil)
+		for _, f := range lvl {
+			b = wirefmt.AppendFloat(b, f)
+		}
+	}
+	return b
+}
+
+func readQuantileBody(b []byte) (State, []byte, error) {
+	q, b, err := wirefmt.Float(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	n, b, err := wirefmt.Varint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	coin, b, err := wirefmt.Uvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := &QuantileState{Q: q, N: n, Coin: coin}
+	nl, isNil, b, err := wirefmt.Len(b, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !isNil {
+		s.Levels = make([][]float64, nl)
+		for i := range s.Levels {
+			cnt, lvlNil, rest, err := wirefmt.Len(b, 8)
+			if err != nil {
+				return nil, nil, err
+			}
+			b = rest
+			if lvlNil {
+				continue
+			}
+			lvl := make([]float64, cnt)
+			for j := range lvl {
+				lvl[j], b, err = wirefmt.Float(b)
+				if err != nil {
+					return nil, nil, err
+				}
+			}
+			s.Levels[i] = lvl
+		}
+	}
+	return s, b, nil
+}
+
+func appendTopKeysBody(b []byte, s *TopKeysState) []byte {
+	b = wirefmt.AppendVarint(b, int64(s.K))
+	b = wirefmt.AppendVarint(b, s.N)
+	b = wirefmt.AppendLen(b, len(s.Counts), s.Counts == nil)
+	if len(s.Counts) > 0 {
+		keys := make([]string, 0, len(s.Counts))
+		for k := range s.Counts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			b = wirefmt.AppendString(b, k)
+		}
+		for _, k := range keys {
+			b = wirefmt.AppendVarint(b, s.Counts[k])
+		}
+	}
+	return b
+}
+
+func readTopKeysBody(b []byte) (State, []byte, error) {
+	k, b, err := wirefmt.Varint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	n, b, err := wirefmt.Varint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := &TopKeysState{K: int(k), N: n}
+	cnt, isNil, b, err := wirefmt.Len(b, 2)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !isNil {
+		s.Counts = make(map[string]int64, cnt)
+		keys := make([]string, cnt)
+		for i := range keys {
+			keys[i], b, err = wirefmt.String(b)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		for _, key := range keys {
+			var c int64
+			c, b, err = wirefmt.Varint(b)
+			if err != nil {
+				return nil, nil, err
+			}
+			s.Counts[key] = c
+		}
+	}
+	return s, b, nil
+}
+
+func readUnionBody(b []byte) (State, []byte, error) {
+	cap_, b, err := wirefmt.Varint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	n, b, err := wirefmt.Varint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	dropped, b, err := wirefmt.Bool(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := &UnionState{Cap: int(cap_), N: n, Dropped: dropped}
+	nk, isNil, b, err := wirefmt.Len(b, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !isNil {
+		s.Keys = make([]string, nk)
+		for i := range s.Keys {
+			s.Keys[i], b, err = wirefmt.String(b)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	s.Entries, b, err = readEntries(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, b, nil
+}
+
+// ---------------------------------------------------------------------
+// Entry columns: node IDs back to back, then values back to back.
+
+func appendEntries(b []byte, es []Entry) []byte {
+	b = wirefmt.AppendLen(b, len(es), es == nil)
+	for _, e := range es {
+		b = append(b, e.Node[:]...)
+	}
+	for _, e := range es {
+		b = e.Value.AppendWire(b)
+	}
+	return b
+}
+
+func readEntries(b []byte) ([]Entry, []byte, error) {
+	n, isNil, b, err := wirefmt.Len(b, ids.Bytes+1)
+	if err != nil {
+		return nil, nil, err
+	}
+	if isNil {
+		return nil, b, nil
+	}
+	es := make([]Entry, n)
+	for i := range es {
+		raw, rest, err := wirefmt.Bytes(b, ids.Bytes)
+		if err != nil {
+			return nil, nil, err
+		}
+		copy(es[i].Node[:], raw)
+		b = rest
+	}
+	for i := range es {
+		es[i].Value, b, err = value.ReadWire(b)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return es, b, nil
+}
+
+// ---------------------------------------------------------------------
+// GroupedState: the hot container. Keys ship as one sorted column;
+// sub-states ship as per-kind value vectors for the fixed-width numeric
+// kinds (SUM/COUNT/MIN/MAX/AVG/STD — the overwhelming majority of epoch
+// report traffic), and as self-delimiting tagged states for the
+// list/sketch kinds.
+
+func appendGroupedBody(b []byte, g *GroupedState) ([]byte, error) {
+	b = AppendSpec(b, g.Spec)
+	b = wirefmt.AppendVarint(b, int64(g.Cap))
+	b = wirefmt.AppendVarint(b, g.Spilled)
+	b, err := AppendState(b, g.Other)
+	if err != nil {
+		return nil, err
+	}
+	b = wirefmt.AppendLen(b, len(g.Groups), g.Groups == nil)
+	if len(g.Groups) == 0 {
+		return b, nil
+	}
+	keys := g.Keys()
+	for _, k := range keys {
+		b = wirefmt.AppendString(b, k)
+	}
+	switch g.Spec.Kind {
+	case KindSum, KindAvg:
+		sums := make([]*SumState, len(keys))
+		for i, k := range keys {
+			s, err := sumOf(g.Groups[k], g.Spec.Kind)
+			if err != nil {
+				return nil, err
+			}
+			sums[i] = s
+		}
+		for _, s := range sums {
+			b = wirefmt.AppendBool(b, s.Valid)
+		}
+		for _, s := range sums {
+			b = wirefmt.AppendVarint(b, s.N)
+		}
+		for _, s := range sums {
+			if s.Valid {
+				b = s.V.AppendWire(b)
+			}
+		}
+	case KindCount:
+		for _, k := range keys {
+			s, ok := g.Groups[k].(*CountState)
+			if !ok {
+				return nil, fmt.Errorf("aggregate: grouped count holds %T", g.Groups[k])
+			}
+			b = wirefmt.AppendVarint(b, s.N)
+		}
+	case KindMin, KindMax:
+		exts := make([]*ExtremeState, len(keys))
+		for i, k := range keys {
+			s, ok := g.Groups[k].(*ExtremeState)
+			if !ok {
+				return nil, fmt.Errorf("aggregate: grouped extreme holds %T", g.Groups[k])
+			}
+			exts[i] = s
+		}
+		for _, s := range exts {
+			b = wirefmt.AppendBool(b, s.Valid)
+		}
+		for _, s := range exts {
+			b = wirefmt.AppendVarint(b, s.N)
+		}
+		for _, s := range exts {
+			if s.Valid {
+				b = append(b, s.Best.Node[:]...)
+			}
+		}
+		for _, s := range exts {
+			if s.Valid {
+				b = s.Best.Value.AppendWire(b)
+			}
+		}
+	case KindStd:
+		stds := make([]*StdState, len(keys))
+		for i, k := range keys {
+			s, ok := g.Groups[k].(*StdState)
+			if !ok {
+				return nil, fmt.Errorf("aggregate: grouped std holds %T", g.Groups[k])
+			}
+			stds[i] = s
+		}
+		for _, s := range stds {
+			b = wirefmt.AppendVarint(b, s.N)
+		}
+		for _, s := range stds {
+			b = wirefmt.AppendFloat(b, s.Sum)
+		}
+		for _, s := range stds {
+			b = wirefmt.AppendFloat(b, s.SumSq)
+		}
+	default:
+		for _, k := range keys {
+			b, err = AppendState(b, g.Groups[k])
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b, nil
+}
+
+// sumOf extracts the SumState behind a grouped SUM or AVG slot.
+func sumOf(st State, kind Kind) (*SumState, error) {
+	if kind == KindAvg {
+		a, ok := st.(*AvgState)
+		if !ok {
+			return nil, fmt.Errorf("aggregate: grouped avg holds %T", st)
+		}
+		return &a.Sum, nil
+	}
+	s, ok := st.(*SumState)
+	if !ok {
+		return nil, fmt.Errorf("aggregate: grouped sum holds %T", st)
+	}
+	return s, nil
+}
+
+func readGroupedBody(b []byte, depth int) (State, []byte, error) {
+	spec, b, err := ReadSpec(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	cap_, b, err := wirefmt.Varint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	spilled, b, err := wirefmt.Varint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	other, b, err := readState(b, depth+1)
+	if err != nil {
+		return nil, nil, err
+	}
+	n, isNil, b, err := wirefmt.Len(b, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	if isNil {
+		return &GroupedState{Spec: spec, Cap: int(cap_), Spilled: spilled, Other: other}, b, nil
+	}
+	if spec.Kind == KindInvalid && n > 0 {
+		return nil, nil, fmt.Errorf("aggregate: grouped keys without a spec: %w", wirefmt.ErrCorrupt)
+	}
+	// The grouped shell (and its cleared key map) comes from the decode
+	// pool; sub-states are built fresh from the columns below.
+	g := NewGroupedSized(spec, int(cap_), n)
+	g.Spilled, g.Other = spilled, other
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i], b, err = wirefmt.String(b)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	switch spec.Kind {
+	case KindSum, KindAvg:
+		valid := make([]bool, n)
+		for i := range valid {
+			valid[i], b, err = wirefmt.Bool(b)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		ns := make([]int64, n)
+		for i := range ns {
+			ns[i], b, err = wirefmt.Varint(b)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		for i, k := range keys {
+			sum := SumState{Valid: valid[i], N: ns[i]}
+			if valid[i] {
+				sum.V, b, err = value.ReadWire(b)
+				if err != nil {
+					return nil, nil, err
+				}
+			}
+			if spec.Kind == KindAvg {
+				g.Groups[k] = &AvgState{Sum: sum}
+			} else {
+				s := sum
+				g.Groups[k] = &s
+			}
+		}
+	case KindCount:
+		for _, k := range keys {
+			var cn int64
+			cn, b, err = wirefmt.Varint(b)
+			if err != nil {
+				return nil, nil, err
+			}
+			g.Groups[k] = &CountState{N: cn}
+		}
+	case KindMin, KindMax:
+		exts := make([]*ExtremeState, n)
+		for i := range exts {
+			exts[i] = &ExtremeState{Max: spec.Kind == KindMax}
+			exts[i].Valid, b, err = wirefmt.Bool(b)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		for _, s := range exts {
+			s.N, b, err = wirefmt.Varint(b)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		for _, s := range exts {
+			if s.Valid {
+				raw, rest, err := wirefmt.Bytes(b, ids.Bytes)
+				if err != nil {
+					return nil, nil, err
+				}
+				copy(s.Best.Node[:], raw)
+				b = rest
+			}
+		}
+		for i, s := range exts {
+			if s.Valid {
+				s.Best.Value, b, err = value.ReadWire(b)
+				if err != nil {
+					return nil, nil, err
+				}
+			}
+			g.Groups[keys[i]] = s
+		}
+	case KindStd:
+		stds := make([]*StdState, n)
+		for i := range stds {
+			stds[i] = &StdState{}
+			stds[i].N, b, err = wirefmt.Varint(b)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		for _, s := range stds {
+			s.Sum, b, err = wirefmt.Float(b)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		for i, s := range stds {
+			s.SumSq, b, err = wirefmt.Float(b)
+			if err != nil {
+				return nil, nil, err
+			}
+			g.Groups[keys[i]] = s
+		}
+	default:
+		want := byte(spec.Kind)
+		for _, k := range keys {
+			if len(b) == 0 {
+				return nil, nil, wirefmt.ErrTruncated
+			}
+			if b[0] != want {
+				return nil, nil, fmt.Errorf("aggregate: grouped %v slot tagged %d: %w", spec.Kind, b[0], wirefmt.ErrCorrupt)
+			}
+			var st State
+			st, b, err = readState(b, depth+1)
+			if err != nil {
+				return nil, nil, err
+			}
+			g.Groups[k] = st
+		}
+	}
+	return g, b, nil
+}

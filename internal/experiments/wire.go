@@ -1,0 +1,320 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/moara/moara/internal/aggregate"
+	"github.com/moara/moara/internal/core"
+	"github.com/moara/moara/internal/ids"
+	"github.com/moara/moara/internal/transport"
+	"github.com/moara/moara/internal/value"
+)
+
+// WireOptions parameterize the wire-codec study: a steady-state
+// microbenchmark of the hot message shapes through both codecs (gob
+// envelope stream vs framed columnar), and a real-TCP harness running
+// the standing grouped workload across actual agent processes' worth of
+// sockets under each codec. Not a paper figure — the paper's prototype
+// never left the simulator; this table is the repo's deployable-agent
+// extension.
+type WireOptions struct {
+	// Sizes sweep the contributor count folded into each benchmarked
+	// message (default 300, 2000, 10000).
+	Sizes []int
+	// TCPNodes is the loopback agent count for the real-socket harness
+	// (default 256; the scale profile runs 1000). 0 < TCPNodes < 2
+	// skips the harness.
+	TCPNodes int
+	// Epochs is the number of measured standing epochs on the TCP
+	// harness (default 5).
+	Epochs int
+	// Period is the standing query's epoch length on the TCP harness
+	// (default 300ms — real agents on a shared CPU need headroom the
+	// simulator doesn't).
+	Period time.Duration
+}
+
+// Defaults fills unset parameters.
+func (o WireOptions) Defaults() WireOptions {
+	if len(o.Sizes) == 0 {
+		o.Sizes = []int{300, 2000, 10000}
+	}
+	if o.TCPNodes == 0 {
+		o.TCPNodes = 256
+	}
+	if o.Epochs == 0 {
+		o.Epochs = 5
+	}
+	if o.Period == 0 {
+		o.Period = 300 * time.Millisecond
+	}
+	return o
+}
+
+// gobEnv mirrors the transport's legacy per-message gob envelope, so
+// the gob rows bill exactly what the old wire carried.
+type gobEnv struct {
+	FromAddr string
+	Payload  any
+}
+
+// RunWire produces the codec table. Part one is the microbenchmark:
+// each hot message shape — the keyed 16-group AVG epoch report (the
+// acceptance shape), a dense-HLL report, an 8-report coalesced batch,
+// and the small install message — encodes and decodes through a
+// steady-state codec pair (persistent gob encoder/decoder, so type
+// descriptors are amortized exactly as on a long-lived connection;
+// reused buffers for columnar). Part two boots TCPNodes real agents on
+// loopback sockets, runs one grouped standing query under each codec,
+// and reports measured bytes on the wire per epoch with the stream's
+// completeness.
+func RunWire(opt WireOptions) *Table {
+	opt = opt.Defaults()
+	transport.RegisterGob()
+	t := &Table{
+		Title: "Wire codec: gob envelope vs framed columnar",
+		Note: fmt.Sprintf("per-message ns and bytes from steady-state codec pairs; tcp rows are measured socket bytes per epoch across all %d agents (grouped standing query, epoch=%v, %d epochs)",
+			opt.TCPNodes, opt.Period, opt.Epochs),
+		Columns: []string{"series", "n", "codec", "enc_ns", "dec_ns", "wire_bytes", "speedup", "completeness"},
+	}
+	for _, n := range opt.Sizes {
+		for _, shape := range wireShapes(n) {
+			codecRows(t, shape.label, n, shape.msg)
+		}
+	}
+	if opt.TCPNodes > 1 {
+		tcpStandingRows(t, opt, transport.CodecGob)
+		tcpStandingRows(t, opt, transport.CodecColumnar)
+	}
+	return t
+}
+
+// wireShapes builds the benchmarked messages at contributor count n.
+func wireShapes(n int) []struct {
+	label string
+	msg   any
+} {
+	qid := core.QueryID{Origin: ids.FromKey("bench-origin"), Num: 42}
+	avg := aggregate.NewGrouped(aggregate.Spec{Kind: aggregate.KindAvg}, 32)
+	dcount := &aggregate.DCountState{}
+	for i := 0; i < n; i++ {
+		node := ids.FromKey(fmt.Sprintf("n%06d", i))
+		avg.AddKeyed(node, fmt.Sprintf("s%02d", i%16), value.Float(float64(i)))
+		dcount.Add(node, value.Str(fmt.Sprintf("h%06d", i)))
+	}
+	report := core.EpochReportMsg{SID: qid, Group: "*:load", Epoch: 9,
+		State: avg, Contributors: int64(n), Np: n / 2, Unknown: 1.5}
+	batch := core.BatchMsg{Items: make([]any, 8)}
+	for i := range batch.Items {
+		r := report
+		r.Epoch += uint64(i)
+		batch.Items[i] = r
+	}
+	return []struct {
+		label string
+		msg   any
+	}{
+		{"epoch report avg x16 groups", report},
+		{"epoch report dcount (hll)", core.EpochReportMsg{SID: qid, Group: "*:host", Epoch: 9,
+			State: dcount, Contributors: int64(n), Np: n / 2}},
+		{"batch of 8 epoch reports", batch},
+		{"install (subscription)", core.InstallMsg{SID: qid, Group: "*:load", Attr: "load",
+			Spec: aggregate.Spec{Kind: aggregate.KindAvg}, GroupBy: "slice",
+			Period: time.Second, Gen: 3, Level: 2, ReplyTo: ids.FromKey("parent")}},
+	}
+}
+
+// codecRows measures one message shape through both codecs and appends
+// a gob row plus a columnar row with the end-to-end speedup.
+func codecRows(t *Table, label string, n int, msg any) {
+	gobEnc, gobDec, gobBytes := benchGob(msg)
+	colEnc, colDec, colBytes := benchColumnar(msg)
+	t.AddRow(label, itoa(n), "gob", itoa(int(gobEnc)), itoa(int(gobDec)), itoa(gobBytes), "-", "-")
+	speedup := float64(gobEnc+gobDec) / float64(colEnc+colDec)
+	t.AddRow(label, itoa(n), "columnar", itoa(int(colEnc)), itoa(int(colDec)), itoa(colBytes),
+		fmt.Sprintf("%.1fx", speedup), "-")
+}
+
+// benchIters picks an iteration count targeting a fixed encoded volume,
+// so small and large messages get comparable measurement quality.
+func benchIters(msgBytes int) int {
+	iters := (4 << 20) / max(msgBytes, 1)
+	return min(max(iters, 32), 4096)
+}
+
+// benchGob measures steady-state gob: one persistent encoder/decoder
+// pair over a shared buffer, exactly a long-lived connection's shape —
+// type descriptors cross once, then each message costs its envelope.
+func benchGob(msg any) (encNs, decNs int64, msgBytes int) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	dec := gob.NewDecoder(&buf)
+	env := gobEnv{FromAddr: "127.0.0.1:9999", Payload: msg}
+	// Warm: ship the type descriptors.
+	mustEncode(enc, &env)
+	var out gobEnv
+	mustDecode(dec, &out)
+	// Steady-state per-message size.
+	pre := buf.Len()
+	mustEncode(enc, &env)
+	msgBytes = buf.Len() - pre
+	mustDecode(dec, &out)
+
+	iters := benchIters(msgBytes)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		mustEncode(enc, &env)
+	}
+	encNs = time.Since(start).Nanoseconds() / int64(iters)
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		out = gobEnv{}
+		mustDecode(dec, &out)
+	}
+	decNs = time.Since(start).Nanoseconds() / int64(iters)
+	return encNs, decNs, msgBytes
+}
+
+func mustEncode(enc *gob.Encoder, env *gobEnv) {
+	if err := enc.Encode(env); err != nil {
+		panic(err)
+	}
+}
+
+func mustDecode(dec *gob.Decoder, env *gobEnv) {
+	if err := dec.Decode(env); err != nil {
+		panic(err)
+	}
+}
+
+// benchColumnar measures the framed columnar codec with a reused buffer
+// (the transport's per-connection scratch), billing the frame length
+// prefix; the once-per-connection header is amortized to zero.
+func benchColumnar(msg any) (encNs, decNs int64, msgBytes int) {
+	payload, err := core.AppendMessage(nil, msg)
+	if err != nil {
+		panic(err)
+	}
+	var hdr [binary.MaxVarintLen64]byte
+	msgBytes = len(payload) + binary.PutUvarint(hdr[:], uint64(len(payload)))
+
+	iters := benchIters(msgBytes)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		payload, err = core.AppendMessage(payload[:0], msg)
+		if err != nil {
+			panic(err)
+		}
+	}
+	encNs = time.Since(start).Nanoseconds() / int64(iters)
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		if _, _, err := core.ReadMessage(payload); err != nil {
+			panic(err)
+		}
+	}
+	decNs = time.Since(start).Nanoseconds() / int64(iters)
+	return encNs, decNs, msgBytes
+}
+
+// tcpStandingRows boots opt.TCPNodes agents on loopback TCP under the
+// given outgoing codec, installs one grouped standing query, and
+// measures socket bytes per epoch plus stream completeness over
+// opt.Epochs warm epochs.
+func tcpStandingRows(t *Table, opt WireOptions, codec transport.Codec) {
+	n := opt.TCPNodes
+	nodes := make([]*transport.Node, 0, n)
+	for i := 0; i < n; i++ {
+		nd, err := transport.Listen("127.0.0.1:0", nil, transport.Options{Codec: codec})
+		if err != nil {
+			panic(fmt.Sprintf("wire: listen agent %d: %v", i, err))
+		}
+		nodes = append(nodes, nd)
+	}
+	defer func() {
+		var wg sync.WaitGroup
+		for _, nd := range nodes {
+			wg.Add(1)
+			go func(nd *transport.Node) { defer wg.Done(); nd.Close() }(nd)
+		}
+		wg.Wait()
+	}()
+	roster := make([]string, 0, n)
+	for _, nd := range nodes {
+		roster = append(roster, nd.Addr())
+	}
+	for i, nd := range nodes {
+		nd.ApplyRoster(roster)
+		nd.SetAttr("slice", value.Str(fmt.Sprintf("s%02d", i%16)))
+		nd.SetAttr("load", value.Float(float64(i)))
+	}
+
+	samples := make(chan core.Sample, 256)
+	sub, err := nodes[0].Subscribe(context.Background(),
+		fmt.Sprintf("avg(load) group by slice every %v", opt.Period),
+		func(s core.Sample) {
+			select {
+			case samples <- s:
+			default:
+			}
+		})
+	if err != nil {
+		panic(fmt.Sprintf("wire: subscribe: %v", err))
+	}
+	defer sub.Unsubscribe()
+
+	// Warm until the stream reaches every agent (or a deadline — real
+	// sockets on a loaded CI box can straggle; the completeness column
+	// then reports what the run actually achieved).
+	deadline := time.After(60 * time.Second)
+	warm := false
+	for !warm {
+		select {
+		case s := <-samples:
+			warm = !s.ColdStart && s.Contributors == int64(n)
+		case <-deadline:
+			warm = true
+		}
+	}
+
+	bytesBefore := wireBytes(nodes)
+	var completeness []float64
+	start := time.Now()
+	for len(completeness) < opt.Epochs {
+		select {
+		case s := <-samples:
+			if !s.ColdStart {
+				completeness = append(completeness, float64(s.Contributors)/float64(n))
+			}
+		case <-deadline:
+			completeness = append(completeness, 0)
+		}
+	}
+	elapsed := time.Since(start)
+	perEpoch := float64(wireBytes(nodes)-bytesBefore) / float64(opt.Epochs)
+
+	mean := 0.0
+	for _, c := range completeness {
+		mean += c
+	}
+	mean /= float64(len(completeness))
+	label := fmt.Sprintf("tcp standing avg x16 (%.0fms/epoch)",
+		float64(elapsed.Milliseconds())/float64(opt.Epochs))
+	t.AddRow(label, itoa(n), codec.String(), "-", "-", itoa(int(perEpoch)), "-", fmt.Sprintf("%.3f", mean))
+}
+
+// wireBytes sums bytes sent across the cluster (each byte is also
+// received once, so outbound alone is the wire total).
+func wireBytes(nodes []*transport.Node) uint64 {
+	total := uint64(0)
+	for _, nd := range nodes {
+		total += nd.Stats().BytesOut
+	}
+	return total
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestWireShape asserts the codec study's contract on a reduced run:
+// the columnar codec must clearly beat steady-state gob on the hot
+// 16-group epoch report (the committed BENCH gate requires >=5x; the
+// test uses a looser floor to absorb CI timer noise), must use strictly
+// fewer wire bytes on every benchmarked shape, and the real-TCP
+// standing harness must deliver a complete grouped stream under both
+// codecs.
+func TestWireShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster sweep")
+	}
+	tab := RunWire(WireOptions{
+		Sizes:    []int{300, 2000},
+		TCPNodes: 48,
+		Epochs:   2,
+		Period:   150 * time.Millisecond,
+	})
+	byKey := map[string][]string{}
+	for _, row := range tab.Rows {
+		t.Log(row)
+		byKey[row[0]+"/"+row[1]+"/"+row[2]] = row
+	}
+
+	// Columnar must be strictly smaller than gob on every microbench
+	// shape (byte sizes are deterministic, so this is exact).
+	for key, col := range byKey {
+		if col[2] != "columnar" || col[7] != "-" {
+			continue // gob rows and tcp rows checked separately
+		}
+		gob, ok := byKey[col[0]+"/"+col[1]+"/gob"]
+		if !ok {
+			t.Fatalf("columnar row %q has no gob counterpart", key)
+		}
+		if cb, gb := parseF(t, col[5]), parseF(t, gob[5]); cb >= gb {
+			t.Errorf("%s n=%s: columnar bytes %v not below gob %v", col[0], col[1], cb, gb)
+		}
+	}
+
+	// The acceptance shape: keyed 16-group AVG epoch report.
+	for _, n := range []string{"300", "2000"} {
+		row, ok := byKey["epoch report avg x16 groups/"+n+"/columnar"]
+		if !ok {
+			t.Fatalf("missing acceptance-shape columnar row at n=%s", n)
+		}
+		speedup := parseF(t, row[6][:len(row[6])-1]) // strip trailing "x"
+		if speedup < 3 {
+			t.Errorf("n=%s: columnar speedup %.1fx below floor (committed gate is 5x)", n, speedup)
+		}
+	}
+
+	// Both TCP harness rows must exist and report a complete stream.
+	tcp := 0
+	for key, row := range byKey {
+		if row[7] == "-" {
+			continue
+		}
+		tcp++
+		if c := parseF(t, row[7]); c < 0.99 {
+			t.Errorf("tcp row %q: completeness %v below 0.99", key, c)
+		}
+	}
+	if tcp != 2 {
+		t.Errorf("expected 2 tcp harness rows (gob + columnar), got %d", tcp)
+	}
+}

@@ -1,0 +1,229 @@
+// Wire framing and codec negotiation for the TCP transport.
+//
+// A columnar connection opens with a 4-byte header — magic 0xEF 'M' 'W'
+// plus a codec version byte — followed by the sender's length-prefixed
+// listen address (sent once per connection; the gob envelope repeats it
+// per message). After the header the stream is a sequence of frames:
+//
+//	uvarint payload length | payload (message tag byte + body)
+//
+// Negotiation is by sniffing: a gob stream's first byte is always in
+// [0x00,0x7F] or [0xF8,0xFF] (gob's unsigned-int encoding), so 0xEF can
+// never begin a gob stream. The acceptor peeks one byte and picks the
+// decoder — old gob agents and new columnar agents interoperate in both
+// directions with no handshake round-trip.
+//
+// Compatibility rule: within a codec version, message tags and body
+// layouts are append-only (new tags may be added; existing ones are
+// frozen). An incompatible layout change bumps the version byte, and a
+// reader drops connections bearing versions it does not know — the
+// sender's messages then ride its gob fallback path only if the
+// operator pins `-codec gob`, so mixed fleets should upgrade readers
+// first.
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync/atomic"
+
+	"github.com/moara/moara/internal/wirefmt"
+)
+
+// Codec selects the wire encoding for a node's outgoing connections.
+// (Inbound connections are sniffed, so a node always reads both.)
+type Codec int
+
+const (
+	// CodecColumnar is the framed hand-rolled binary codec (default).
+	CodecColumnar Codec = iota
+	// CodecGob is the legacy stream of gob-encoded envelopes, for
+	// interoperating with pre-codec agents.
+	CodecGob
+)
+
+// String names the codec for flags and stats output.
+func (c Codec) String() string {
+	if c == CodecGob {
+		return "gob"
+	}
+	return "columnar"
+}
+
+// ParseCodec resolves a codec flag value.
+func ParseCodec(s string) (Codec, error) {
+	switch s {
+	case "", "columnar":
+		return CodecColumnar, nil
+	case "gob":
+		return CodecGob, nil
+	}
+	return 0, fmt.Errorf("transport: unknown codec %q (want columnar or gob)", s)
+}
+
+const (
+	// wireMagic opens a columnar connection. It sits in gob's dead zone
+	// [0x80,0xF7] — no gob stream can start with it — which is what
+	// makes one-byte sniffing sound.
+	wireMagic = 0xEF
+	// wireVersion is the current columnar codec version. Readers drop
+	// connections bearing versions they do not know.
+	wireVersion = 1
+	// maxFrame bounds one frame's payload (and therefore the decoder's
+	// allocation) — far above any real message, far below harm.
+	maxFrame = 32 << 20
+	// maxAddrLen bounds the connection header's address field.
+	maxAddrLen = 256
+)
+
+var (
+	errFrameTooBig = errors.New("transport: frame exceeds size limit")
+	errBadVersion  = errors.New("transport: unknown codec version")
+)
+
+// writeConnHeader emits the once-per-connection columnar preamble.
+func writeConnHeader(w *bufio.Writer, fromAddr string) error {
+	if _, err := w.Write([]byte{wireMagic, 'M', 'W', wireVersion}); err != nil {
+		return err
+	}
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(fromAddr)))
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	_, err := w.WriteString(fromAddr)
+	return err
+}
+
+// readConnHeader consumes the columnar preamble (the caller has already
+// sniffed the magic byte).
+func readConnHeader(br *bufio.Reader) (fromAddr string, err error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return "", err
+	}
+	if magic[0] != wireMagic || magic[1] != 'M' || magic[2] != 'W' {
+		return "", fmt.Errorf("transport: bad connection magic: %w", wirefmt.ErrCorrupt)
+	}
+	if magic[3] != wireVersion {
+		return "", fmt.Errorf("%w %d", errBadVersion, magic[3])
+	}
+	ln, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if ln == 0 || ln > maxAddrLen {
+		return "", fmt.Errorf("transport: connection header address length %d: %w", ln, wirefmt.ErrCorrupt)
+	}
+	raw := make([]byte, ln)
+	if _, err := io.ReadFull(br, raw); err != nil {
+		return "", err
+	}
+	return string(raw), nil
+}
+
+// writeFrame emits one length-prefixed frame and flushes it.
+func writeFrame(w *bufio.Writer, payload []byte) error {
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(payload)))
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// frameChunk is the step readFrame grows its buffer by, so allocation
+// tracks bytes actually received: a peer declaring a huge frame and
+// hanging up costs one chunk, not maxFrame.
+const frameChunk = 64 << 10
+
+// readFrame reads one frame into *scratch (reused across frames; it
+// grows to the largest frame the connection has carried) and returns
+// the payload slice, valid until the next call.
+func readFrame(br *bufio.Reader, scratch *[]byte) ([]byte, error) {
+	ln, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if ln > maxFrame {
+		return nil, errFrameTooBig
+	}
+	need := int(ln)
+	buf := (*scratch)[:0]
+	for len(buf) < need {
+		step := min(need-len(buf), frameChunk)
+		if cap(buf)-len(buf) < step {
+			nb := make([]byte, len(buf), min(need, max(2*cap(buf), len(buf)+step)))
+			copy(nb, buf)
+			buf = nb
+		}
+		if _, err := io.ReadFull(br, buf[len(buf):len(buf)+step]); err != nil {
+			*scratch = buf[:0]
+			if err == io.EOF && len(buf) > 0 {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+		buf = buf[:len(buf)+step]
+	}
+	*scratch = buf
+	return buf, nil
+}
+
+// countingConn wraps a net.Conn with byte counters feeding Node stats.
+type countingConn struct {
+	net.Conn
+	in, out *atomic.Uint64
+}
+
+func (c countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.in.Add(uint64(n))
+	return n, err
+}
+
+func (c countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.out.Add(uint64(n))
+	return n, err
+}
+
+// Stats is a snapshot of a node's transport counters. DecodeErrors is
+// the observability fix for silent teardown: a malformed frame used to
+// kill its readLoop with no trace, indistinguishable from loss.
+type Stats struct {
+	// MsgsIn / MsgsOut count wire messages dispatched / sent (a batch
+	// counts once).
+	MsgsIn, MsgsOut uint64
+	// BytesIn / BytesOut count raw TCP payload bytes.
+	BytesIn, BytesOut uint64
+	// DecodeErrors counts inbound frames or streams that failed to
+	// decode (corrupt frame, unknown tag, gob error, bad version).
+	DecodeErrors uint64
+	// Dials / DialErrors count outbound connection attempts and
+	// failures; DialsSuppressed counts sends skipped by the negative
+	// dial cache while a dead peer was in backoff.
+	Dials, DialErrors, DialsSuppressed uint64
+}
+
+// Stats returns a consistent-enough snapshot of the node's counters
+// (each counter is individually atomic).
+func (n *Node) Stats() Stats {
+	return Stats{
+		MsgsIn:          n.msgsIn.Load(),
+		MsgsOut:         n.msgsOut.Load(),
+		BytesIn:         n.bytesIn.Load(),
+		BytesOut:        n.bytesOut.Load(),
+		DecodeErrors:    n.decodeErrs.Load(),
+		Dials:           n.dials.Load(),
+		DialErrors:      n.dialErrs.Load(),
+		DialsSuppressed: n.dialsSuppressed.Load(),
+	}
+}

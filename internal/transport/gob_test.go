@@ -17,13 +17,13 @@ import (
 	"github.com/moara/moara/internal/value"
 )
 
-// TestGobRoundTripAllWireTypes round-trips one populated sample of
-// every wire type RegisterGob lists through an encoder/decoder pair, as
-// the TCP transport does. A type added to the system but forgotten in
-// RegisterGob fails here in CI instead of at an agent's first use.
-func TestGobRoundTripAllWireTypes(t *testing.T) {
-	RegisterGob()
-
+// wireSamples builds one populated sample of every wire type, in its
+// interesting shapes. Both codec sweeps — the gob round trip below and
+// the cross-codec equivalence sweep in wire_test.go — iterate this same
+// list, so a type added to the system but forgotten here fails the
+// wireTypes coverage check in CI instead of at an agent's first use.
+func wireSamples(t testing.TB) []any {
+	t.Helper()
 	nodeA, nodeB := ids.FromKey("a"), ids.FromKey("b")
 	qid := core.QueryID{Origin: nodeA, Num: 42}
 	spec := aggregate.Spec{Kind: aggregate.KindAvg}
@@ -143,24 +143,51 @@ func TestGobRoundTripAllWireTypes(t *testing.T) {
 		}},
 		value.Str("plain value"),
 	}
+	return samples
+}
 
-	covered := make(map[reflect.Type]bool)
-	var mark func(m any)
-	mark = func(m any) {
-		covered[reflect.TypeOf(m)] = true
-		switch v := m.(type) {
-		case core.BatchMsg:
-			for _, item := range v.Items {
-				mark(item)
-			}
-		case pastry.RouteMsg:
-			if v.Payload != nil {
-				mark(v.Payload)
-			}
+// markCovered records m's type (recursing into batches, routed
+// payloads, and message state fields) for the wireTypes coverage check.
+func markCovered(covered map[reflect.Type]bool, m any) {
+	if m == nil {
+		return
+	}
+	covered[reflect.TypeOf(m)] = true
+	switch v := m.(type) {
+	case core.BatchMsg:
+		for _, item := range v.Items {
+			markCovered(covered, item)
+		}
+	case pastry.RouteMsg:
+		markCovered(covered, v.Payload)
+	case core.ResponseMsg:
+		markCovered(covered, v.State)
+	case core.EpochReportMsg:
+		markCovered(covered, v.State)
+	case core.SampleMsg:
+		markCovered(covered, v.State)
+	}
+}
+
+// assertWireTypesCovered fails for every registered wire type the sweep
+// never exercised: a wire type added to wireTypes but not sampled fails
+// CI instead of silently shipping untested.
+func assertWireTypesCovered(t *testing.T, covered map[reflect.Type]bool) {
+	t.Helper()
+	for _, wt := range wireTypes {
+		if !covered[reflect.TypeOf(wt)] {
+			t.Errorf("registered wire type %T has no round-trip sample; add one to wireSamples", wt)
 		}
 	}
-	for _, m := range samples {
-		mark(m)
+}
+
+// TestGobRoundTripAllWireTypes round-trips every wire sample through a
+// gob encoder/decoder pair, as the legacy TCP codec does.
+func TestGobRoundTripAllWireTypes(t *testing.T) {
+	RegisterGob()
+	covered := make(map[reflect.Type]bool)
+	for _, m := range wireSamples(t) {
+		markCovered(covered, m)
 		var buf bytes.Buffer
 		if err := gob.NewEncoder(&buf).Encode(&envelope{FromAddr: "x", Payload: m}); err != nil {
 			t.Errorf("%T: encode: %v", m, err)
@@ -175,27 +202,7 @@ func TestGobRoundTripAllWireTypes(t *testing.T) {
 			t.Errorf("%T: round trip mismatch:\n got %#v\nwant %#v", m, env.Payload, m)
 		}
 	}
-
-	// Nested aggregate states and values inside the samples cover the
-	// remaining registered payload types.
-	mark(sum)
-	mark(grouped)
-	mark(topk)
-	for _, m := range samples {
-		if rm, ok := m.(core.ResponseMsg); ok && rm.State != nil {
-			mark(rm.State)
-		}
-	}
-	mark(value.Str("x"))
-
-	// Every type RegisterGob registers must appear in the sweep: a wire
-	// type added to wireTypes but not exercised here fails CI instead of
-	// silently shipping untested.
-	for _, wt := range wireTypes {
-		if !covered[reflect.TypeOf(wt)] {
-			t.Errorf("registered wire type %T has no round-trip sample; add one to this sweep", wt)
-		}
-	}
+	assertWireTypesCovered(t, covered)
 }
 
 // TestWireTypesHaveMsgKind asserts that every envelope-level wire type

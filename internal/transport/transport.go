@@ -10,13 +10,16 @@
 package transport
 
 import (
+	"bufio"
 	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/moara/moara/internal/aggregate"
@@ -102,6 +105,15 @@ type Options struct {
 	Overlay pastry.Config
 	// DialTimeout bounds outgoing connection attempts (default 5s).
 	DialTimeout time.Duration
+	// RedialBackoff is how long a peer that failed to dial stays
+	// negative-cached before another dial is attempted (default 1s).
+	// Without it, every message to a dead neighbor re-dialed
+	// synchronously under DialTimeout — an epoch burst toward a dead
+	// peer stacked up dial attempts instead of failing fast.
+	RedialBackoff time.Duration
+	// Codec selects the outgoing wire encoding (default CodecColumnar).
+	// Inbound connections are sniffed, so either setting reads both.
+	Codec Codec
 }
 
 // Node is one Moara agent listening on a TCP address.
@@ -120,15 +132,26 @@ type Node struct {
 	connMu   sync.Mutex
 	conns    map[string]*outConn
 	accepted map[net.Conn]bool
+	dialFail map[string]time.Time
+
+	msgsIn, msgsOut   atomic.Uint64
+	bytesIn, bytesOut atomic.Uint64
+	decodeErrs        atomic.Uint64
+	dials, dialErrs   atomic.Uint64
+	dialsSuppressed   atomic.Uint64
 
 	closed  chan struct{}
 	closeMu sync.Once
 	wg      sync.WaitGroup
 }
 
+// outConn is one cached outgoing connection. Exactly one of enc (gob
+// codec) or bw (columnar codec) is set.
 type outConn struct {
 	mu  sync.Mutex
 	enc *gob.Encoder
+	bw  *bufio.Writer
+	buf []byte // columnar frame scratch, reused under mu
 	c   net.Conn
 }
 
@@ -139,6 +162,9 @@ func Listen(addr string, roster []string, opts Options) (*Node, error) {
 	RegisterGob()
 	if opts.DialTimeout == 0 {
 		opts.DialTimeout = 5 * time.Second
+	}
+	if opts.RedialBackoff == 0 {
+		opts.RedialBackoff = time.Second
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -156,6 +182,7 @@ func Listen(addr string, roster []string, opts Options) (*Node, error) {
 		opts:     opts,
 		conns:    make(map[string]*outConn),
 		accepted: make(map[net.Conn]bool),
+		dialFail: make(map[string]time.Time),
 		closed:   make(chan struct{}),
 	}
 	n.roster[n.id] = resolved
@@ -386,26 +413,106 @@ func (n *Node) readLoop(conn net.Conn) {
 		delete(n.accepted, conn)
 		n.connMu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
+	br := bufio.NewReaderSize(countingConn{Conn: conn, in: &n.bytesIn, out: &n.bytesOut}, 32<<10)
+	// Codec negotiation: a columnar connection opens with wireMagic,
+	// which no gob stream can start with (see codec.go).
+	first, err := br.Peek(1)
+	if err != nil {
+		return
+	}
+	if first[0] == wireMagic {
+		n.readColumnar(br)
+	} else {
+		n.readGob(br)
+	}
+}
+
+// readColumnar drains one framed columnar connection. Frames are
+// self-delimiting, so a payload that fails to decode is counted and
+// skipped without killing the connection; framing-level corruption
+// (oversized or truncated frames) still tears it down, counted.
+func (n *Node) readColumnar(br *bufio.Reader) {
+	fromAddr, err := readConnHeader(br)
+	if err != nil {
+		n.countDecodeErr(err)
+		return
+	}
+	from := IDOf(fromAddr)
+	var scratch []byte
+	for {
+		payload, err := readFrame(br, &scratch)
+		if err != nil {
+			n.countDecodeErr(err)
+			return
+		}
+		m, rest, err := core.ReadMessage(payload)
+		if err != nil || len(rest) != 0 {
+			if err == nil {
+				err = fmt.Errorf("transport: %d trailing bytes in frame", len(rest))
+			}
+			n.countDecodeErr(err)
+			continue
+		}
+		if !n.dispatch(from, fromAddr, m) {
+			return
+		}
+	}
+}
+
+// readGob drains one legacy gob-envelope connection.
+func (n *Node) readGob(br *bufio.Reader) {
+	dec := gob.NewDecoder(br)
 	for {
 		var env envelope
 		if err := dec.Decode(&env); err != nil {
+			// A gob decoder's stream state is unrecoverable after an
+			// error, so unlike a columnar frame this ends the
+			// connection — but now counted, not silent.
+			n.countDecodeErr(err)
 			return
 		}
-		from := IDOf(env.FromAddr)
-		n.mu.Lock()
-		if _, known := n.roster[from]; !known {
-			n.roster[from] = env.FromAddr
-			n.core.Overlay().Install(from)
-		}
-		n.core.Handle(from, env.Payload)
-		n.mu.Unlock()
-		select {
-		case <-n.closed:
+		if !n.dispatch(IDOf(env.FromAddr), env.FromAddr, env.Payload) {
 			return
-		default:
 		}
 	}
+}
+
+// dispatch hands one inbound message to the core, installing unknown
+// senders into the roster first. The closed check runs under the core
+// lock BEFORE dispatch — Close signals closed before taking the lock,
+// so a closing node can no longer process one extra message between
+// Close and connection teardown.
+func (n *Node) dispatch(from ids.ID, fromAddr string, m any) bool {
+	n.mu.Lock()
+	select {
+	case <-n.closed:
+		n.mu.Unlock()
+		return false
+	default:
+	}
+	if _, known := n.roster[from]; !known {
+		n.roster[from] = fromAddr
+		n.core.Overlay().Install(from)
+	}
+	n.core.Handle(from, m)
+	n.mu.Unlock()
+	n.msgsIn.Add(1)
+	return true
+}
+
+// countDecodeErr records an inbound decode failure, ignoring the
+// ordinary ways a healthy connection ends (clean EOF, teardown during
+// shutdown) so the counter means "wire bug", not "peer left".
+func (n *Node) countDecodeErr(err error) {
+	if err == nil || errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+		return
+	}
+	select {
+	case <-n.closed:
+		return
+	default:
+	}
+	n.decodeErrs.Add(1)
 }
 
 // send transmits one message, dialing (and caching) connections lazily.
@@ -416,15 +523,35 @@ func (n *Node) send(toAddr string, m any) {
 		return
 	}
 	oc.mu.Lock()
-	defer oc.mu.Unlock()
-	if err := oc.enc.Encode(envelope{FromAddr: n.addr, Payload: m}); err != nil {
+	err = oc.write(n.addr, m)
+	oc.mu.Unlock()
+	if err != nil {
 		oc.c.Close()
 		n.connMu.Lock()
 		if n.conns[toAddr] == oc {
 			delete(n.conns, toAddr)
 		}
 		n.connMu.Unlock()
+		return
 	}
+	n.msgsOut.Add(1)
+}
+
+// write encodes and sends one message on the connection's codec. The
+// caller holds oc.mu.
+func (oc *outConn) write(fromAddr string, m any) error {
+	if oc.enc != nil {
+		return oc.enc.Encode(envelope{FromAddr: fromAddr, Payload: m})
+	}
+	payload, err := core.AppendMessage(oc.buf[:0], m)
+	if err != nil {
+		// Encoding failed before any byte hit the wire; the connection
+		// is still clean, so report success-shaped loss (the message is
+		// unencodable on every codec — gob fallback included).
+		return nil
+	}
+	oc.buf = payload[:0]
+	return writeFrame(oc.bw, payload)
 }
 
 func (n *Node) conn(addr string) (*outConn, error) {
@@ -432,6 +559,17 @@ func (n *Node) conn(addr string) (*outConn, error) {
 	if oc, ok := n.conns[addr]; ok {
 		n.connMu.Unlock()
 		return oc, nil
+	}
+	// Negative dial cache: a peer that just failed to dial is skipped
+	// until its backoff expires, so a dead neighbor costs one timed-out
+	// dial per backoff window instead of one per message.
+	if until, ok := n.dialFail[addr]; ok {
+		if time.Since(until) < n.opts.RedialBackoff {
+			n.connMu.Unlock()
+			n.dialsSuppressed.Add(1)
+			return nil, errors.New("transport: peer in dial backoff")
+		}
+		delete(n.dialFail, addr)
 	}
 	n.connMu.Unlock()
 	// Cached connections stay usable through shutdown (Close's final
@@ -442,11 +580,20 @@ func (n *Node) conn(addr string) (*outConn, error) {
 		return nil, errors.New("transport: node closed")
 	default:
 	}
+	n.dials.Add(1)
 	c, err := net.DialTimeout("tcp", addr, n.opts.DialTimeout)
 	if err != nil {
+		n.dialErrs.Add(1)
+		n.connMu.Lock()
+		n.dialFail[addr] = time.Now()
+		n.connMu.Unlock()
 		return nil, err
 	}
-	oc := &outConn{enc: gob.NewEncoder(c), c: c}
+	oc, err := n.newOutConn(c)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
 	n.connMu.Lock()
 	defer n.connMu.Unlock()
 	select {
@@ -461,8 +608,23 @@ func (n *Node) conn(addr string) (*outConn, error) {
 		c.Close()
 		return existing, nil
 	}
+	delete(n.dialFail, addr)
 	n.conns[addr] = oc
 	return oc, nil
+}
+
+// newOutConn wraps a freshly dialed connection in the node's configured
+// codec, emitting the columnar connection header when applicable.
+func (n *Node) newOutConn(c net.Conn) (*outConn, error) {
+	cc := countingConn{Conn: c, in: &n.bytesIn, out: &n.bytesOut}
+	if n.opts.Codec == CodecGob {
+		return &outConn{enc: gob.NewEncoder(cc), c: c}, nil
+	}
+	bw := bufio.NewWriterSize(cc, 32<<10)
+	if err := writeConnHeader(bw, n.addr); err != nil {
+		return nil, err
+	}
+	return &outConn{bw: bw, c: c}, nil
 }
 
 // nodeEnv adapts a transport Node to the simnet.Env interface the core

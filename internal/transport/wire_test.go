@@ -1,0 +1,381 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/moara/moara/internal/core"
+	"github.com/moara/moara/internal/value"
+)
+
+// TestCrossCodecEquivalence is the correctness lock on the columnar
+// codec: every wire sample — including the sketch states riding inside
+// keyed GroupedStates inside BatchMsg — must round-trip through the
+// columnar codec to a DeepEqual of the original, bare and nested in a
+// BatchMsg, and must decode to the same result the gob codec produces.
+func TestCrossCodecEquivalence(t *testing.T) {
+	RegisterGob()
+	covered := make(map[reflect.Type]bool)
+	for _, m := range wireSamples(t) {
+		markCovered(covered, m)
+		for _, tc := range []struct {
+			name string
+			msg  any
+		}{
+			{"bare", m},
+			{"batched", core.BatchMsg{Items: []any{m}}},
+		} {
+			payload, err := core.AppendMessage(nil, tc.msg)
+			if err != nil {
+				t.Errorf("%T/%s: columnar encode: %v", m, tc.name, err)
+				continue
+			}
+			got, rest, err := core.ReadMessage(payload)
+			if err != nil {
+				t.Errorf("%T/%s: columnar decode: %v", m, tc.name, err)
+				continue
+			}
+			if len(rest) != 0 {
+				t.Errorf("%T/%s: %d trailing bytes after decode", m, tc.name, len(rest))
+				continue
+			}
+			if !reflect.DeepEqual(got, tc.msg) {
+				t.Errorf("%T/%s: columnar round trip mismatch:\n got %#v\nwant %#v", m, tc.name, got, tc.msg)
+				continue
+			}
+			// Cross-codec: the gob decode of the same message must be
+			// indistinguishable from the columnar decode.
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(&envelope{FromAddr: "x", Payload: tc.msg}); err != nil {
+				t.Errorf("%T/%s: gob encode: %v", m, tc.name, err)
+				continue
+			}
+			var env envelope
+			if err := gob.NewDecoder(&buf).Decode(&env); err != nil {
+				t.Errorf("%T/%s: gob decode: %v", m, tc.name, err)
+				continue
+			}
+			if !reflect.DeepEqual(got, env.Payload) {
+				t.Errorf("%T/%s: codecs disagree:\ncolumnar %#v\n     gob %#v", m, tc.name, got, env.Payload)
+			}
+		}
+	}
+	assertWireTypesCovered(t, covered)
+}
+
+// TestColumnarFrameRoundTrip drives the framing layer itself: header
+// plus several frames through a pipe, decoded with the connection-level
+// reader primitives.
+func TestColumnarFrameRoundTrip(t *testing.T) {
+	RegisterGob()
+	var wire bytes.Buffer
+	bw := bufio.NewWriter(&wire)
+	if err := writeConnHeader(bw, "10.0.0.1:7777"); err != nil {
+		t.Fatal(err)
+	}
+	msgs := []any{
+		core.CancelMsg{SID: core.QueryID{Num: 1}, Group: "g"},
+		core.StatusMsg{Group: "g", Np: 3},
+	}
+	for _, m := range msgs {
+		payload, err := core.AppendMessage(nil, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := writeFrame(bw, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	br := bufio.NewReader(&wire)
+	from, err := readConnHeader(br)
+	if err != nil {
+		t.Fatalf("header: %v", err)
+	}
+	if from != "10.0.0.1:7777" {
+		t.Fatalf("header addr = %q", from)
+	}
+	var scratch []byte
+	for i, want := range msgs {
+		payload, err := readFrame(br, &scratch)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		got, rest, err := core.ReadMessage(payload)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("frame %d: decode: %v (%d trailing)", i, err, len(rest))
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("frame %d: got %#v, want %#v", i, got, want)
+		}
+	}
+}
+
+// TestMixedCodecClusterInterop runs a real query across a cluster where
+// half the agents send legacy gob and half send columnar: negotiation
+// is per inbound connection (sniffed), so every pairing must work.
+func TestMixedCodecClusterInterop(t *testing.T) {
+	var nodes []*Node
+	for i := 0; i < 6; i++ {
+		codec := CodecColumnar
+		if i%2 == 1 {
+			codec = CodecGob
+		}
+		nd, err := Listen("127.0.0.1:0", nil, Options{Codec: codec})
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		nodes = append(nodes, nd)
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	})
+	roster := make([]string, 0, len(nodes))
+	for _, nd := range nodes {
+		roster = append(roster, nd.Addr())
+	}
+	want := int64(0)
+	for i, nd := range nodes {
+		nd.ApplyRoster(roster)
+		nd.SetAttr("load", value.Int(int64(i+1)))
+		want += int64(i + 1)
+	}
+	for _, origin := range []int{0, 1} { // one columnar, one gob origin
+		res, err := nodes[origin].QueryWait("sum(load)", 10*time.Second)
+		if err != nil {
+			t.Fatalf("origin %d: %v", origin, err)
+		}
+		if got, _ := res.Agg.Value.AsInt(); got != want {
+			t.Fatalf("origin %d: sum = %d, want %d", origin, got, want)
+		}
+	}
+}
+
+// TestDialBackoffSuppressesRedials is the dial-storm regression test:
+// a burst of sends toward a dead address must cost one dial attempt,
+// with the rest suppressed by the negative cache until backoff expires.
+func TestDialBackoffSuppressesRedials(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close() // nothing listens here anymore: connection refused
+	nd, err := Listen("127.0.0.1:0", nil, Options{
+		DialTimeout:   500 * time.Millisecond,
+		RedialBackoff: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close()
+	const burst = 50
+	for i := 0; i < burst; i++ {
+		nd.send(dead, core.CancelMsg{Group: "g"})
+	}
+	st := nd.Stats()
+	if st.Dials != 1 || st.DialErrors != 1 {
+		t.Fatalf("dials = %d (errors %d), want exactly 1: the epoch burst re-dialed a dead peer", st.Dials, st.DialErrors)
+	}
+	if st.DialsSuppressed != burst-1 {
+		t.Fatalf("suppressed = %d, want %d", st.DialsSuppressed, burst-1)
+	}
+	if st.MsgsOut != 0 {
+		t.Fatalf("msgsOut = %d, want 0", st.MsgsOut)
+	}
+}
+
+// TestDispatchAfterCloseDropsMessage locks the shutdown ordering fix:
+// the closed check runs before core dispatch, so a message arriving
+// after Close is dropped, not processed.
+func TestDispatchAfterCloseDropsMessage(t *testing.T) {
+	nodes := startCluster(t, 2, core.Config{})
+	a, b := nodes[0], nodes[1]
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before := b.Stats().MsgsIn
+	if b.dispatch(a.ID(), a.Addr(), core.CancelMsg{Group: "g"}) {
+		t.Fatal("dispatch after Close reported the node as live")
+	}
+	if got := b.Stats().MsgsIn; got != before {
+		t.Fatalf("message handled after Close (msgsIn %d -> %d)", before, got)
+	}
+}
+
+// TestCloseRaceUnderTraffic closes an agent while a peer is actively
+// streaming epoch reports at it; under -race this shakes out handle-
+// after-close races, and the closing side must never dispatch a message
+// after Close returns.
+func TestCloseRaceUnderTraffic(t *testing.T) {
+	nodes := startCluster(t, 3, core.Config{})
+	for i, nd := range nodes {
+		nd.SetAttr("load", value.Int(int64(i)))
+	}
+	victim := nodes[2]
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			nodes[0].send(victim.Addr(), core.CancelMsg{Group: "g"})
+			if i == 64 {
+				// Let some traffic land before the close fires.
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	time.Sleep(5 * time.Millisecond)
+	if err := victim.Close(); err != nil {
+		t.Fatal(err)
+	}
+	after := victim.Stats().MsgsIn
+	time.Sleep(10 * time.Millisecond)
+	if got := victim.Stats().MsgsIn; got != after {
+		t.Fatalf("node dispatched %d messages after Close returned", got-after)
+	}
+	close(stop)
+	<-done
+}
+
+// TestDecodeErrorsCountedAndSurvived feeds a columnar connection one
+// malformed frame between two valid ones: the bad frame must be counted
+// (the silent-teardown fix) and must NOT kill the connection — the
+// frames around it still dispatch.
+func TestDecodeErrorsCountedAndSurvived(t *testing.T) {
+	nd := startCluster(t, 1, core.Config{})[0]
+	c, err := net.Dial("tcp", nd.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	bw := bufio.NewWriter(c)
+	if err := writeConnHeader(bw, "203.0.113.9:1"); err != nil {
+		t.Fatal(err)
+	}
+	valid, err := core.AppendMessage(nil, core.CancelMsg{Group: "g"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(bw, valid); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(bw, []byte{0xC8, 0xDE, 0xAD}); err != nil { // unknown tag 200
+		t.Fatal(err)
+	}
+	if err := writeFrame(bw, valid); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		st := nd.Stats()
+		if st.MsgsIn >= 2 && st.DecodeErrors >= 1 {
+			if st.DecodeErrors != 1 {
+				t.Fatalf("decodeErrors = %d, want 1", st.DecodeErrors)
+			}
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("stats never converged: %+v", nd.Stats())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// TestBadVersionDropsConnection: a columnar header bearing an unknown
+// codec version must drop the connection (compatibility rule) and count
+// as a decode error.
+func TestBadVersionDropsConnection(t *testing.T) {
+	nd := startCluster(t, 1, core.Config{})[0]
+	c, err := net.Dial("tcp", nd.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte{wireMagic, 'M', 'W', 99, 1, 'x'}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for nd.Stats().DecodeErrors == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("bad version never counted")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	// The agent must have hung up on us.
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("connection survived an unknown codec version")
+	}
+	if got := nd.Stats().MsgsIn; got != 0 {
+		t.Fatalf("msgsIn = %d, want 0", got)
+	}
+}
+
+// FuzzDecodeFrame throws arbitrary bytes at the full inbound decode
+// path — connection header, frame layer, message codec: it must error
+// cleanly, never panic, and never allocate past the chunked-growth
+// bound. Anything that decodes must re-encode.
+func FuzzDecodeFrame(f *testing.F) {
+	RegisterGob()
+	for _, m := range wireSamples(f) {
+		payload, err := core.AppendMessage(nil, m)
+		if err != nil {
+			continue
+		}
+		f.Add(payload)
+		if len(payload) > 2 {
+			f.Add(payload[:len(payload)/2]) // truncations
+		}
+	}
+	var hdr bytes.Buffer
+	bw := bufio.NewWriter(&hdr)
+	_ = writeConnHeader(bw, "127.0.0.1:1")
+	_ = bw.Flush()
+	f.Add(hdr.Bytes())
+	f.Add([]byte{wireMagic, 'M', 'W', wireVersion})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}) // huge frame length
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Message layer directly.
+		if m, rest, err := core.ReadMessage(data); err == nil {
+			if len(rest) > len(data) {
+				t.Fatalf("decoder returned more than it was given")
+			}
+			if _, err := core.AppendMessage(nil, m); err != nil {
+				t.Fatalf("decoded message failed to re-encode: %v", err)
+			}
+		}
+		// Stream layer: header + frames, as readColumnar consumes them.
+		br := bufio.NewReader(bytes.NewReader(data))
+		if first, err := br.Peek(1); err != nil || first[0] != wireMagic {
+			return
+		}
+		if _, err := readConnHeader(br); err != nil {
+			return
+		}
+		var scratch []byte
+		for {
+			payload, err := readFrame(br, &scratch)
+			if err != nil {
+				return
+			}
+			_, _, _ = core.ReadMessage(payload)
+		}
+	})
+}
